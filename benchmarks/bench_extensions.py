@@ -1,0 +1,87 @@
+"""Section 6 extension (box-as-2-cylinders ICA) and the design ablations."""
+
+from repro.bench.experiments import (
+    ablation_bvh,
+    ablation_costs,
+    ablation_mapping,
+    ablation_start_level,
+    ablation_warp,
+    am_overlap,
+    boxica,
+)
+
+
+def test_boxica(benchmark, scale, record):
+    result = benchmark.pedantic(boxica, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    # The undecided (corner) fraction is small and shrinks with distance —
+    # the Section 6 claim.
+    by_r: dict[float, list] = {}
+    for dist, r, pct in result.rows:
+        by_r.setdefault(r, []).append(pct)
+        assert pct < 25.0
+    for fracs in by_r.values():
+        assert fracs[-1] <= fracs[0]
+
+
+def test_ablation_bvh(benchmark, scale, record):
+    result = benchmark.pedantic(ablation_bvh, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    rows = {r[0]: r for r in result.rows}
+    # ICA pruning pays off on the BVH too (vs exact-only), by a wide margin.
+    assert rows["BVH ICA"][3] < 0.5 * rows["BVH exact-only"][3]
+    # The octree's solid-interior hit proofs keep its box-check count in the
+    # same ballpark or better; at >=64^3 (where AICA's corner expansion has
+    # room) the octree traversal also wins on time.
+    if scale.default_resolution >= 64:
+        assert rows["octree AICA"][3] < rows["BVH ICA"][3]
+
+
+def test_am_overlap(benchmark, scale, record):
+    result = benchmark.pedantic(am_overlap, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    # Section 8's premise: consecutive pivots share most AM values.
+    for model, n, mean_pct, min_pct, _acc in result.rows:
+        assert mean_pct > 70.0, (model, mean_pct)
+
+
+def test_ablation_costs(benchmark, scale, record):
+    result = benchmark.pedantic(ablation_costs, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    # The method ordering must be stable across cost perturbations: AICA and
+    # MICA always ahead of PICA, which is ahead of both box methods.
+    for row in result.rows:
+        order = [name.strip() for name in row[-1].split("<")]
+        assert order.index("PICA") < order.index("PBoxOpt") < order.index("PBox")
+        assert order.index("AICA") < order.index("PICA")
+        assert order.index("MICA") < order.index("PICA")
+
+
+def test_ablation_mapping(benchmark, scale, record):
+    result = benchmark.pedantic(ablation_mapping, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    for method, t_orient, t_voxel, imb_o, imb_v in result.rows:
+        # Section 4.1's choice: with the device saturated, the orientation
+        # mapping wins and is far better balanced.
+        assert t_orient < t_voxel, (method, t_orient, t_voxel)
+        assert imb_o < imb_v
+
+
+def test_ablation_warp(benchmark, scale, record):
+    result = benchmark.pedantic(ablation_warp, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    times = {w: t for w, t in result.rows}
+    # Wider warps can only add divergence penalty (with cores fixed).
+    assert times[1] <= times[32] * 1.001
+    assert times[32] <= times[128] * 1.001
+
+
+def test_ablation_start_level(benchmark, scale, record):
+    result = benchmark.pedantic(
+        ablation_start_level, args=(scale,), rounds=1, iterations=1
+    )
+    record(result)
+    checks = {s: c for s, c, _ in result.rows}
+    # Expanding the top levels increases total checks (the flat base scan) —
+    # the trade the paper accepts for load balance.
+    assert checks[5] >= checks[0]

@@ -1,0 +1,23 @@
+"""Figure 5: baseline PBox scaling in object and map resolution."""
+
+from repro.bench.experiments import fig05
+
+
+def test_fig05(benchmark, scale, record):
+    result = benchmark.pedantic(fig05, args=(scale,), rounds=1, iterations=1)
+    record(result)
+
+    obj = [r for r in result.rows if r[0] == "object sweep"]
+    maps = [r for r in result.rows if r[0] == "map sweep"]
+
+    # Object sweep is sublinear: 8x voxels (2x per edge) costs << 8x time.
+    for a, b in zip(obj, obj[1:]):
+        ratio = b[3] / a[3]
+        assert ratio < 4.0, f"object-resolution scaling should be sublinear, got {ratio}"
+
+    # Map sweep grows: 4x orientations never costs more than ~4x + slack,
+    # and the largest step (past the core count) shows real growth.
+    for a, b in zip(maps, maps[1:]):
+        ratio = b[3] / a[3]
+        assert ratio <= 4.5
+    assert maps[-1][3] / maps[0][3] > 1.2, "map sweep should leave the flat region"

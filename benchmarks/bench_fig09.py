@@ -1,0 +1,22 @@
+"""Figure 9: theoretical ICA efficiency vs measured corner-case rates."""
+
+from repro.bench.experiments import fig09
+
+
+def test_fig09(benchmark, scale, record):
+    result = benchmark.pedantic(fig09, args=(scale,), rounds=1, iterations=1)
+    record(result)
+
+    theory = [r for r in result.rows if r[0] == "theory"]
+    measured = [r for r in result.rows if str(r[0]).startswith("measured")]
+
+    # Theory: efficiency decreases with r/dist and tends to 100% at 0.
+    effs = [r[2] for r in theory]
+    assert effs == sorted(effs, reverse=True)
+    assert effs[0] > 99.9
+
+    # Measured: efficiency improves (or stays ~equal) with resolution and
+    # is high in absolute terms — the paper's ~99% regime.
+    m_effs = [r[2] for r in measured]
+    assert all(b >= a - 0.5 for a, b in zip(m_effs, m_effs[1:]))
+    assert m_effs[-1] > 97.0

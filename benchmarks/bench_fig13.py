@@ -1,0 +1,24 @@
+"""Figure 13: octree node counts vs critical-thread checks."""
+
+from repro.bench.experiments import fig13
+
+
+def test_fig13(benchmark, scale, record):
+    result = benchmark.pedantic(fig13, args=(scale,), rounds=1, iterations=1)
+    record(result)
+
+    # The critical thread never visits more nodes than the tree stores,
+    # and at the largest resolution it visits a strict subset.
+    for row in result.rows:
+        model, res, nodes, checks, ratio = row
+        assert checks <= nodes
+    largest = [r for r in result.rows if r[1] == f"{scale.resolutions[-1]}^3"]
+    assert all(r[4] < 1.0 for r in largest)
+
+    # Checks grow more slowly than the tree: the ratio at the largest
+    # resolution is no worse than ~1.15x the smallest's, per model.
+    by_model: dict[str, list] = {}
+    for r in result.rows:
+        by_model.setdefault(r[0], []).append(r[4])
+    for model, ratios in by_model.items():
+        assert ratios[-1] <= ratios[0] * 1.15 + 0.05, (model, ratios)

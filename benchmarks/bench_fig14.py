@@ -1,0 +1,22 @@
+"""Figure 14: load imbalance and the parallel ICA precompute, both GPUs."""
+
+from repro.bench.experiments import fig14
+
+
+def test_fig14(benchmark, scale, record):
+    result = benchmark.pedantic(fig14, args=(scale,), rounds=1, iterations=1)
+    record(result)
+
+    rows = {(r[0], r[1]): r for r in result.rows}
+    for dev in ("GTX 1080 Ti", "GTX 1080"):
+        pica = rows[(dev, "PICA")]
+        mica = rows[(dev, "MICA")]
+        aica = rows[(dev, "AICA")]
+        # The precompute stage exists only for MICA/AICA...
+        assert pica[2] == 0.0
+        assert mica[2] > 0.0
+        # ...and it pays for itself: total time improves (or ties).
+        assert mica[4] <= pica[4] * 1.001
+        assert aica[4] <= mica[4] * 1.01
+        # Imbalance (max/mean thread ops) should not explode after memoization.
+        assert mica[5] < 50.0

@@ -1,0 +1,24 @@
+"""Figure 16: all five methods vs object resolution (the headline result)."""
+
+from repro.bench.experiments import fig16
+
+
+def test_fig16(benchmark, scale, record):
+    result = benchmark.pedantic(fig16, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    sims = result.extras["sims"]
+
+    for res in scale.resolutions:
+        # The paper's ordering at every resolution.
+        assert sims[("AICA", res)] <= sims[("MICA", res)] * 1.001
+        assert sims[("MICA", res)] <= sims[("PICA", res)] * 1.001
+        assert sims[("PICA", res)] < sims[("PBoxOpt", res)]
+        assert sims[("PBoxOpt", res)] < sims[("PBox", res)]
+
+    # Headline factors at the largest resolution: the paper reports PICA
+    # 23.9x over PBox and 4.8x over PBoxOpt; we require the same order of
+    # magnitude (>5x and >2x) — the exact factor depends on scene scale.
+    res = scale.resolutions[-1]
+    assert sims[("PBox", res)] / sims[("PICA", res)] > 5.0
+    assert sims[("PBoxOpt", res)] / sims[("PICA", res)] > 2.0
+    assert sims[("PBox", res)] / sims[("AICA", res)] > 10.0

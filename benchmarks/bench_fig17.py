@@ -1,0 +1,24 @@
+"""Figure 17: all five methods vs accessibility-map resolution."""
+
+from repro.bench.experiments import fig17
+
+
+def test_fig17(benchmark, scale, record):
+    result = benchmark.pedantic(fig17, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    sims = result.extras["sims"]
+
+    for l in scale.map_sizes:
+        assert sims[("AICA", l)] <= sims[("MICA", l)] * 1.001
+        assert sims[("MICA", l)] <= sims[("PICA", l)] * 1.001
+        assert sims[("PICA", l)] < sims[("PBoxOpt", l)]
+        assert sims[("PBoxOpt", l)] < sims[("PBox", l)]
+
+    # Growth with map size is at most linear-ish in orientations (each
+    # 2x-per-edge step is 4x threads) for the baseline.
+    for a, b in zip(scale.map_sizes, scale.map_sizes[1:]):
+        assert sims[("PBox", b)] / sims[("PBox", a)] <= 4.6
+
+    l = scale.map_sizes[-1]
+    assert sims[("PBox", l)] / sims[("PICA", l)] > 5.0
+    assert sims[("PBox", l)] / sims[("AICA", l)] > 10.0

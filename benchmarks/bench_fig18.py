@@ -1,0 +1,24 @@
+"""Figure 18: AICA time breakdown vs the precompute depth S."""
+
+from repro.bench.experiments import fig18
+
+
+def test_fig18(benchmark, scale, record):
+    result = benchmark.pedantic(fig18, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    rows = result.rows  # [S, entries, precompute_ms, cd_ms, total_ms]
+
+    # Table entries grow monotonically (roughly 8x per level near the leaves).
+    entries = [r[1] for r in rows]
+    assert entries == sorted(entries)
+
+    # Precompute cost is monotone in S; CD cost is non-increasing in S.
+    pre = [r[2] for r in rows]
+    cd = [r[3] for r in rows]
+    assert all(b >= a - 1e-12 for a, b in zip(pre, pre[1:]))
+    assert all(b <= a * 1.001 + 1e-12 for a, b in zip(cd, cd[1:]))
+
+    # Deep memoization wins overall: the best total is at (or near) max S,
+    # exactly the paper's conclusion for S = 8.
+    totals = [r[4] for r in rows]
+    assert min(totals) == min(totals[-2:])

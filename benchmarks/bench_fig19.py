@@ -1,0 +1,24 @@
+"""Figure 19: AICA time breakdown vs object resolution."""
+
+from repro.bench.experiments import fig19
+
+
+def test_fig19(benchmark, scale, record):
+    result = benchmark.pedantic(fig19, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    rows = result.rows  # [res, entries, precompute_ms, cd_ms, total_ms]
+
+    entries = [r[1] for r in rows]
+    totals = [r[4] for r in rows]
+    pre = [r[2] for r in rows]
+
+    # Table entries grow steeply with resolution (roughly node-count
+    # growth; ~1.99x is observed on the smallest step, hence the 1.8 bar)...
+    assert all(b > 1.8 * a for a, b in zip(entries, entries[1:]))
+    # ...while total time grows sublinearly relative to the node growth —
+    # the paper's "execution time increases gradually".
+    for (e0, e1), (t0, t1) in zip(zip(entries, entries[1:]), zip(totals, totals[1:])):
+        assert t1 / max(t0, 1e-12) < e1 / e0
+    # The precompute share grows with resolution (Fig 19's stacked bars).
+    share = [p / max(t, 1e-12) for p, t in zip(pre, totals)]
+    assert share[-1] >= share[0]

@@ -1,0 +1,32 @@
+"""Table 1 + Table 2: benchmark statistics and the simulated platforms."""
+
+from repro.bench.experiments import table1, table2
+
+
+def test_table1(benchmark, scale, record):
+    result = benchmark.pedantic(table1, args=(scale,), rounds=1, iterations=1)
+    record(result)
+    rows = result.rows
+    assert len(rows) == 4 * len(scale.resolutions)
+    # octree node counts grow superlinearly (surface ~ resolution^2)
+    by_model: dict[str, list] = {}
+    for r in rows:
+        by_model.setdefault(r[0], []).append(r[2])
+    for model, counts in by_model.items():
+        assert all(b > 2 * a for a, b in zip(counts, counts[1:])), (
+            f"{model}: node counts {counts} should roughly quadruple per 2x "
+            "resolution"
+        )
+    # path points double per resolution doubling (Table 1's linear scaling)
+    for r0, r1 in zip(rows, rows[1:]):
+        if r0[0] == r1[0]:
+            assert 1.5 < r1[6] / r0[6] < 2.5
+
+
+def test_table2(benchmark, record):
+    result = benchmark.pedantic(table2, rounds=1, iterations=1)
+    record(result)
+    devices = {row[0]: row for row in result.rows}
+    # Table 2's tension: the 1080 Ti has more cores, the 1080 a higher clock
+    assert devices["GTX 1080 Ti"][1] > devices["GTX 1080"][1]
+    assert devices["GTX 1080 Ti"][2] < devices["GTX 1080"][2]

@@ -1,0 +1,46 @@
+"""Benchmark-suite fixtures.
+
+Each bench regenerates one of the paper's tables/figures via
+:mod:`repro.bench.experiments`, records the rendered table under
+``benchmarks/results/``, and asserts the paper's *shape* claims (who
+wins, roughly by how much, where crossovers fall).  Absolute numbers are
+simulated-GPU milliseconds, not wall time, so they are stable across
+machines; the pytest-benchmark timings measure this Python harness.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (default ``small``); see
+:mod:`repro.bench.config`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def scale():
+    from repro.bench.config import current_scale
+
+    return current_scale()
+
+
+@pytest.fixture
+def record(results_dir):
+    """Write an experiment's rendered table to results/ and echo it."""
+
+    def _record(result):
+        text = result.render()
+        (results_dir / f"{result.exp_id}.txt").write_text(text + "\n")
+        print("\n" + text)
+        return result
+
+    return _record

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Closing the Figure 1 loop: carve the part out of a stock block.
+
+The paper's introduction motivates collision detection with the milling
+pipeline: start from a block, repeatedly position the tool at points
+around the part in collision-free orientations, and remove material.
+This example runs that loop end to end with the reproduction's pieces:
+
+* the target (the head benchmark) as an adaptive octree for CD;
+* a dense voxel *stock* block enclosing it;
+* the 1 mm offset path for pivot points;
+* AICA accessibility maps + a safety margin to choose orientations;
+* the greedy rougher cutting the stock, with gouge accounting.
+
+The invariant on display: because every cut happens at an orientation
+the accessibility map approved, the finished part is never gouged.
+
+Run:  python examples/milling_simulation.py [resolution]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import AICA, OrientationGrid, Tool, build_from_sdf, expand_top, offset_path
+from repro.milling import GreedyRougher, VoxelStock
+from repro.solids import head_model
+from repro.solids.voxelize import voxelize_sdf
+
+def ascii_slice(stock: VoxelStock, target: np.ndarray, z_index: int) -> str:
+    """One z slice of the stock: '#' stock, 'o' target part, ' ' air."""
+    rows = []
+    for y in range(0, stock.resolution, 2):  # halve the display density
+        row = []
+        for x in range(0, stock.resolution, 2):
+            if target[z_index, y, x]:
+                row.append("o")
+            elif stock.grid[z_index, y, x]:
+                row.append("#")
+            else:
+                row.append(" ")
+        rows.append("".join(row))
+    return "\n".join(rows)
+
+def main() -> None:
+    resolution = int(sys.argv[1]) if len(sys.argv) > 1 else 48
+    model = head_model()
+    print(f"target: {model.name}; stock block at {resolution}^3")
+
+    target = voxelize_sdf(model.sdf, model.domain, resolution)
+    tree = expand_top(build_from_sdf(model.sdf, model.domain, resolution))
+    stock = VoxelStock.block_around(model.domain, resolution, target)
+    print(f"stock {stock.remaining_cells()} cells, part {target.sum()} cells")
+
+    tool = Tool.from_segments(
+        [(2.5, 18.0), (4.0, 60.0), (10.0, 50.0)], name="roughing"
+    )
+    rougher = GreedyRougher(
+        tree, tool, OrientationGrid.square(12), AICA(), safety_steps=1
+    )
+    mid = resolution // 2
+    print("\nstock mid-slice before:")
+    print(ascii_slice(stock, target, mid))
+
+    # Layered roughing: passes at decreasing standoff, the way real
+    # roughing approaches the part.  Accessibility improves with standoff,
+    # so outer passes cut almost everywhere and inner ones refine.
+    total_gouges = 0
+    for standoff in (8.0, 4.0, 1.5):
+        path = offset_path(model, resolution, offset=standoff, n_slices=6)
+        stride = max(len(path) // 60, 1)
+        pivots = path[::stride]
+        report = rougher.run(stock, pivots)
+        total_gouges += report.gouged_cells
+        print(f"\npass at {standoff:>4.1f} mm standoff: {report.summary()}")
+    assert total_gouges == 0, "AM-approved cuts must never gouge the part"
+
+    print("\nstock mid-slice after:")
+    print(ascii_slice(stock, target, mid))
+    print(f"\nremaining excess material: {stock.excess_cells()} cells "
+          f"({stock.volume_mm3():.0f} mm^3 total stock left)")
+    print("the part ('o') is intact; cleared cells near the path are ' '.")
+
+if __name__ == "__main__":
+    main()

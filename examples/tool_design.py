@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Tool-design study: how tool geometry limits accessibility.
+
+A use case the paper's introduction motivates: deep concave features
+(here the candle holder's cup) can only be reached by sufficiently
+slender tools.  This script compares three tool designs on the same
+target and pivots and reports the accessible-orientation fraction of
+each — the quantity a process engineer uses to choose tooling.
+
+It also demonstrates the ICA table's reuse: the cone bounds depend only
+on the tool *profile*, so each tool gets its own table but shares the
+octree.
+
+Run:  python examples/tool_design.py
+"""
+
+import numpy as np
+
+from repro import (
+    AICA,
+    OrientationGrid,
+    Scene,
+    Tool,
+    build_from_sdf,
+    expand_top,
+    offset_path,
+    run_cd,
+    sample_pivots,
+)
+from repro.solids import candle_holder_model
+
+def make_tools() -> list[Tool]:
+    """Three designs, cutter-to-holder: stubby, standard, slender."""
+    return [
+        Tool.from_segments(
+            [(8.0, 15.0), (16.0, 40.0), (31.5, 25.0)], name="stubby"
+        ),
+        Tool.from_segments(
+            [(6.35, 25.4), (6.225, 76.2), (20.0, 78.0), (31.5, 22.1)], name="standard"
+        ),
+        Tool.from_segments(
+            [(2.0, 30.0), (3.0, 90.0), (12.0, 60.0), (31.5, 22.1)], name="slender"
+        ),
+    ]
+
+def main() -> None:
+    model = candle_holder_model()
+    resolution = 64
+    tree = expand_top(build_from_sdf(model.sdf, model.domain, resolution))
+    path = offset_path(model, resolution)
+
+    # Bias pivots toward the top of the part, where the cup cavity is.
+    top = path[path[:, 2] > 0.25 * model.dims[2] / 2.0]
+    pivots = sample_pivots(top if len(top) >= 4 else path, 4, seed=3)
+
+    grid = OrientationGrid.square(12)
+    print(f"target: {model.name} at {resolution}^3 ({tree.total_nodes} nodes), "
+          f"{len(pivots)} pivots near the cup\n")
+
+    print(f"{'tool':10s} {'reach mm':>9s} {'max r mm':>9s} {'accessible %':>13s} "
+          f"{'sim ms':>8s}")
+    results = {}
+    for tool in make_tools():
+        fracs = []
+        sim = 0.0
+        for pivot in pivots:
+            r = run_cd(Scene(tree, tool, pivot), grid, AICA())
+            fracs.append(r.n_accessible / grid.size)
+            sim += r.timing.total_s * 1e3
+        results[tool.name] = float(np.mean(fracs))
+        print(f"{tool.name:10s} {tool.reach:9.1f} {tool.max_radius:9.2f} "
+              f"{100 * results[tool.name]:13.1f} {sim / len(pivots):8.4f}")
+
+    print("\ninterpretation: the slender tool should reach the largest share "
+          "of orientations\naround the concave cup; the stubby one the smallest.")
+    if not (results["slender"] >= results["standard"] >= results["stubby"]):
+        print("note: ordering differs at this resolution/pivot sample — "
+              "try more pivots or higher resolution")
+
+if __name__ == "__main__":
+    main()

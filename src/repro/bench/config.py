@@ -1,0 +1,92 @@
+"""Benchmark scaling presets.
+
+The paper sweeps 256^3-2048^3 object resolutions, 32^2-256^2 maps, and
+2000 pivots per data point on CUDA hardware; a pure-NumPy single-core
+substrate reproduces the *shape* of every experiment at reduced scale.
+The preset is chosen with the ``REPRO_BENCH_SCALE`` environment variable
+(``smoke`` | ``small`` | ``medium`` | ``large``); ``small`` is the
+default and finishes the full bench suite in minutes.
+
+Every experiment documents its own axes in terms of these presets so
+EXPERIMENTS.md can state exactly what was run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["BenchScale", "SCALES", "current_scale"]
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """One scaling preset for the whole bench suite."""
+
+    name: str
+    resolutions: tuple[int, ...]  # object-resolution sweep (paper: 256..2048)
+    map_sizes: tuple[int, ...]  # AM-resolution sweep (paper: 32..256)
+    default_resolution: int  # fixed object res for map sweeps
+    default_map: int  # fixed map res for object sweeps
+    n_pivots: int  # pivots averaged per data point (paper: 2000)
+    heavy_methods: bool  # include PBox/PBoxOpt in full sweeps
+    device_divisor: int = 1  # shrink the simulated device (see scaled_device)
+
+    @property
+    def resolution_labels(self) -> list[str]:
+        return [f"{k}^3" for k in self.resolutions]
+
+
+SCALES: dict[str, BenchScale] = {
+    "smoke": BenchScale(
+        name="smoke",
+        resolutions=(16, 32),
+        map_sizes=(4, 8),
+        default_resolution=32,
+        default_map=8,
+        n_pivots=1,
+        heavy_methods=True,
+        device_divisor=64,
+    ),
+    "small": BenchScale(
+        name="small",
+        resolutions=(32, 64, 128),
+        map_sizes=(8, 16, 32),
+        default_resolution=64,
+        default_map=16,
+        n_pivots=2,
+        heavy_methods=True,
+        device_divisor=32,
+    ),
+    "medium": BenchScale(
+        name="medium",
+        resolutions=(64, 128, 256),
+        map_sizes=(16, 32, 64),
+        default_resolution=128,
+        default_map=32,
+        n_pivots=4,
+        heavy_methods=True,
+        device_divisor=8,
+    ),
+    "large": BenchScale(
+        name="large",
+        resolutions=(64, 128, 256, 512),
+        map_sizes=(16, 32, 64, 128),
+        default_resolution=256,
+        default_map=64,
+        n_pivots=8,
+        heavy_methods=True,
+        device_divisor=2,
+    ),
+}
+
+
+def current_scale() -> BenchScale:
+    """The preset selected by ``REPRO_BENCH_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise KeyError(
+            f"REPRO_BENCH_SCALE={name!r}; choose from {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,61 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The paper's figures are line/bar plots; without a display the harness
+prints each figure as a table whose columns are the plot's x-axis values
+and whose rows are its series — enough to read off who wins, by what
+factor, and where crossovers fall.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table", "render_series", "format_value"]
+
+
+def format_value(v) -> str:
+    """Compact numeric formatting for table cells."""
+    if v is None:
+        return "-"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        a = abs(v)
+        if v == 0.0:
+            return "0"
+        if a >= 1e5 or a < 1e-3:
+            return f"{v:.2e}"
+        if a >= 100:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    return str(v)
+
+
+def render_table(title: str, headers: list[str], rows: list[list], notes: str = "") -> str:
+    """Monospace table with a title rule and optional trailing notes."""
+    cells = [[format_value(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title, "=" * len(title)]
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in cells:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    if notes:
+        out.append("")
+        out.append(notes)
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    x_values: list,
+    series: dict[str, list],
+    notes: str = "",
+) -> str:
+    """A figure-as-table: one row per series over the x-axis values."""
+    headers = [x_label] + [format_value(x) for x in x_values]
+    rows = [[name] + list(vals) for name, vals in series.items()]
+    return render_table(title, headers, rows, notes)

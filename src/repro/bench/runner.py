@@ -1,0 +1,151 @@
+"""Workload construction and aggregated method runs.
+
+A *workload* is everything the paper fixes before timing: a benchmark
+model voxelized into an (expanded) octree at some resolution, the
+4-cylinder tool, the 1 mm offset path, and the sampled pivot points.
+Workload pieces are cached per (model, resolution) because octree and
+path construction dominate setup time and every figure reuses them.
+
+:func:`run_workload` runs one CD method over the workload's pivots and
+averages the per-pivot summaries — the paper's "every experimental
+result is the average of the pivot samples" protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.config import BenchScale
+from repro.cd import Scene, run_cd
+from repro.cd.result import CDResult
+from repro.cd.traversal import TraversalConfig
+from repro.engine.costs import CostModel, DEFAULT_COSTS
+from repro.engine.device import DeviceSpec, GTX_1080_TI
+from repro.geometry.orientation import OrientationGrid
+from repro.octree.build import build_from_sdf, expand_top
+from repro.octree.linear import LinearOctree
+from repro.path.offset import offset_path
+from repro.path.sampling import sample_pivots
+from repro.solids.models import BenchmarkModel, benchmark_models
+from repro.tool.tool import Tool, paper_tool
+
+__all__ = ["Workload", "build_workload", "run_workload", "clear_caches"]
+
+_TREE_CACHE: dict[tuple[str, int, int], LinearOctree] = {}
+_RAW_TREE_CACHE: dict[tuple[str, int], LinearOctree] = {}
+_PATH_CACHE: dict[tuple[str, int], np.ndarray] = {}
+
+
+def clear_caches() -> None:
+    """Drop the workload caches (tests use this to bound memory)."""
+    _TREE_CACHE.clear()
+    _RAW_TREE_CACHE.clear()
+    _PATH_CACHE.clear()
+
+
+def _model_by_name(name: str) -> BenchmarkModel:
+    for m in benchmark_models():
+        if m.name == name:
+            return m
+    raise KeyError(f"unknown benchmark model {name!r}")
+
+
+def cached_tree(model: BenchmarkModel, resolution: int, *, start_level: int = 5) -> LinearOctree:
+    """The model's adaptive octree with the top expansion applied."""
+    key = (model.name, resolution, start_level)
+    if key not in _TREE_CACHE:
+        raw = cached_raw_tree(model, resolution)
+        _TREE_CACHE[key] = expand_top(raw, start_level)
+    return _TREE_CACHE[key]
+
+
+def cached_raw_tree(model: BenchmarkModel, resolution: int) -> LinearOctree:
+    """The model's adaptive octree before top expansion (Table 1 stats)."""
+    key = (model.name, resolution)
+    if key not in _RAW_TREE_CACHE:
+        _RAW_TREE_CACHE[key] = build_from_sdf(model.sdf, model.domain, resolution)
+    return _RAW_TREE_CACHE[key]
+
+
+def cached_path(model: BenchmarkModel, resolution: int) -> np.ndarray:
+    """The model's 1 mm offset path at the given resolution."""
+    key = (model.name, resolution)
+    if key not in _PATH_CACHE:
+        _PATH_CACHE[key] = offset_path(model, resolution)
+    return _PATH_CACHE[key]
+
+
+@dataclass
+class Workload:
+    """One prepared problem family: model + octree + tool + pivots."""
+
+    model: BenchmarkModel
+    resolution: int
+    tree: LinearOctree
+    tool: Tool
+    path: np.ndarray
+    pivots: np.ndarray
+
+    def scene(self, pivot_index: int) -> Scene:
+        return Scene(self.tree, self.tool, self.pivots[pivot_index])
+
+
+def build_workload(
+    model,
+    resolution: int,
+    *,
+    n_pivots: int = 2,
+    seed: int = 0,
+    tool: Tool | None = None,
+    start_level: int = 5,
+) -> Workload:
+    """Prepare (with caching) the workload for one model and resolution.
+
+    ``model`` is a :class:`BenchmarkModel` or its name.  ``seed`` controls
+    pivot sampling so every method sees identical pivots.
+    """
+    if isinstance(model, str):
+        model = _model_by_name(model)
+    tree = cached_tree(model, resolution, start_level=start_level)
+    path = cached_path(model, resolution)
+    return Workload(
+        model=model,
+        resolution=resolution,
+        tree=tree,
+        tool=tool if tool is not None else paper_tool(),
+        path=path,
+        pivots=sample_pivots(path, n_pivots, seed=seed),
+    )
+
+
+def run_workload(
+    workload: Workload,
+    method,
+    grid: OrientationGrid,
+    *,
+    device: DeviceSpec = GTX_1080_TI,
+    costs: CostModel = DEFAULT_COSTS,
+    config: TraversalConfig = TraversalConfig(),
+) -> dict:
+    """Run ``method`` at every pivot and average the summaries.
+
+    Returns the mean of every numeric field of
+    :meth:`repro.cd.result.CDResult.summary`, plus ``n_pivots`` and the
+    last pivot's full :class:`CDResult` under ``"last_result"`` (for
+    figures that need per-thread arrays).
+    """
+    summaries: list[dict] = []
+    last: CDResult | None = None
+    for i in range(len(workload.pivots)):
+        last = run_cd(
+            workload.scene(i), grid, method, device=device, costs=costs, config=config
+        )
+        summaries.append(last.summary())
+
+    out: dict = {"method": method.name, "n_pivots": len(summaries), "last_result": last}
+    for key, val in summaries[0].items():
+        if isinstance(val, (int, float)):
+            out[key] = float(np.mean([s[key] for s in summaries]))
+    return out

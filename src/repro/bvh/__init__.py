@@ -1,0 +1,22 @@
+"""AICA over bounding-volume hierarchies (the paper's Section 8 extension).
+
+The paper closes with: "to broaden its use in computer graphics, our
+AICA should be extended and tested against other spatial volume
+structures common in that domain, such as BVH and kd-trees."  This
+package does that for AABB BVHs:
+
+* :mod:`repro.bvh.build` — a median-split AABB BVH over a set of solid
+  leaf boxes (e.g. the octree's FULL cells, or any box soup);
+* :mod:`repro.bvh.cd` — accessibility-map generation over the BVH with
+  the same two-sphere ICA pruning (a general AABB is sandwiched between
+  its inscribed and circumscribed spheres exactly like a cubic voxel),
+  plus the PBox-style exact-only baseline for comparison.
+
+The ``ablation_bvh`` bench compares the BVH traversal against the
+octree traversal on identical geometry.
+"""
+
+from repro.bvh.build import BVH, build_bvh
+from repro.bvh.cd import run_cd_bvh, BvhMethod
+
+__all__ = ["BVH", "build_bvh", "run_cd_bvh", "BvhMethod"]

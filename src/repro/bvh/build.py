@@ -1,0 +1,203 @@
+"""Median-split AABB bounding-volume hierarchy over solid boxes.
+
+The BVH is stored in flat arrays (GPU-layout, like the linear octree):
+node bounds, child indices (``-1`` for leaves), and for leaves a
+``[start, start+count)`` range into a reordered primitive-index array.
+Construction is top-down median split on the widest axis of the
+centroid bounds — the standard robust default — with an explicit stack
+(no recursion limits on deep trees).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BVH", "build_bvh", "bvh_from_octree"]
+
+
+@dataclass
+class BVH:
+    """Flat-array AABB hierarchy.
+
+    ``node_lo/node_hi``: per-node bounds ``(N, 3)``.  Internal nodes have
+    ``left/right >= 0``; leaves have ``left == right == -1`` and own the
+    primitive indices ``prim_index[leaf_start : leaf_start + leaf_count]``.
+    Primitive ``i`` is the box ``centers[i] +- halves[i]``.
+    """
+
+    node_lo: np.ndarray
+    node_hi: np.ndarray
+    left: np.ndarray
+    right: np.ndarray
+    leaf_start: np.ndarray
+    leaf_count: np.ndarray
+    prim_index: np.ndarray
+    centers: np.ndarray  # (P, 3) primitive box centers
+    halves: np.ndarray  # (P, 3) primitive half extents
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_lo)
+
+    @property
+    def n_primitives(self) -> int:
+        return len(self.centers)
+
+    def is_leaf(self, node: int) -> bool:
+        return self.left[node] < 0
+
+    def depth(self) -> int:
+        """Maximum root-to-leaf depth (iterative)."""
+        depth = np.zeros(self.n_nodes, dtype=np.int64)
+        order = []  # nodes in topological (parent-first) order: construction emits them so
+        stack = [0]
+        best = 0
+        while stack:
+            n = stack.pop()
+            best = max(best, int(depth[n]))
+            l, r = int(self.left[n]), int(self.right[n])
+            if l >= 0:
+                depth[l] = depth[r] = depth[n] + 1
+                stack.append(l)
+                stack.append(r)
+        del order
+        return best
+
+    def validate(self) -> None:
+        """Raise if structural invariants are broken (used by tests)."""
+        if self.n_nodes == 0:
+            if self.n_primitives:
+                raise ValueError("empty tree with primitives")
+            return
+        seen = np.zeros(self.n_primitives, dtype=bool)
+        stack = [0]
+        while stack:
+            n = stack.pop()
+            if np.any(self.node_lo[n] > self.node_hi[n]):
+                raise ValueError(f"inverted bounds at node {n}")
+            l, r = int(self.left[n]), int(self.right[n])
+            if l >= 0:
+                for c in (l, r):
+                    if np.any(self.node_lo[c] < self.node_lo[n] - 1e-9) or np.any(
+                        self.node_hi[c] > self.node_hi[n] + 1e-9
+                    ):
+                        raise ValueError(f"child {c} escapes parent {n}")
+                stack.extend((l, r))
+            else:
+                s, c = int(self.leaf_start[n]), int(self.leaf_count[n])
+                if c <= 0:
+                    raise ValueError(f"empty leaf {n}")
+                idx = self.prim_index[s : s + c]
+                if seen[idx].any():
+                    raise ValueError("primitive owned by two leaves")
+                seen[idx] = True
+                lo = (self.centers[idx] - self.halves[idx]).min(axis=0)
+                hi = (self.centers[idx] + self.halves[idx]).max(axis=0)
+                if np.any(lo < self.node_lo[n] - 1e-9) or np.any(hi > self.node_hi[n] + 1e-9):
+                    raise ValueError(f"leaf {n} bounds do not cover its primitives")
+        if not seen.all():
+            raise ValueError("some primitives unreachable from the root")
+
+
+def build_bvh(centers, halves, *, leaf_size: int = 4) -> BVH:
+    """Build a BVH over boxes ``centers[i] +- halves[i]``.
+
+    ``halves`` may be ``(P,)`` (cubes) or ``(P, 3)``.  ``leaf_size``
+    bounds the primitives per leaf (larger = shallower tree, more exact
+    tests per leaf visit).
+    """
+    centers = np.asarray(centers, dtype=np.float64)
+    if centers.ndim != 2 or centers.shape[1] != 3:
+        raise ValueError("centers must be (P, 3)")
+    P = len(centers)
+    halves = np.asarray(halves, dtype=np.float64)
+    if halves.ndim == 1:
+        halves = halves[:, None]
+    halves = np.broadcast_to(halves, (P, 3)).astype(np.float64)
+    if leaf_size < 1:
+        raise ValueError("leaf_size must be >= 1")
+    if P == 0:
+        z = np.zeros((0, 3))
+        zi = np.zeros(0, dtype=np.intp)
+        return BVH(z, z, zi, zi, zi, zi, zi, centers, halves)
+
+    prim_lo = centers - halves
+    prim_hi = centers + halves
+    order = np.arange(P, dtype=np.intp)
+
+    node_lo: list[np.ndarray] = []
+    node_hi: list[np.ndarray] = []
+    left: list[int] = []
+    right: list[int] = []
+    leaf_start: list[int] = []
+    leaf_count: list[int] = []
+
+    def new_node(lo, hi) -> int:
+        node_lo.append(lo)
+        node_hi.append(hi)
+        left.append(-1)
+        right.append(-1)
+        leaf_start.append(-1)
+        leaf_count.append(0)
+        return len(node_lo) - 1
+
+    root = new_node(prim_lo.min(axis=0), prim_hi.max(axis=0))
+    stack: list[tuple[int, int, int]] = [(root, 0, P)]  # (node, start, end) over `order`
+    while stack:
+        node, s, e = stack.pop()
+        idx = order[s:e]
+        if e - s <= leaf_size:
+            leaf_start[node] = s
+            leaf_count[node] = e - s
+            continue
+        c = centers[idx]
+        spread = c.max(axis=0) - c.min(axis=0)
+        axis = int(np.argmax(spread))
+        if spread[axis] <= 0.0:
+            # All centroids coincide: cannot split meaningfully.
+            leaf_start[node] = s
+            leaf_count[node] = e - s
+            continue
+        mid = (e - s) // 2
+        part = np.argpartition(c[:, axis], mid)
+        order[s:e] = idx[part]
+        lidx = order[s : s + mid]
+        ridx = order[s + mid : e]
+        lnode = new_node(prim_lo[lidx].min(axis=0), prim_hi[lidx].max(axis=0))
+        rnode = new_node(prim_lo[ridx].min(axis=0), prim_hi[ridx].max(axis=0))
+        left[node] = lnode
+        right[node] = rnode
+        stack.append((lnode, s, s + mid))
+        stack.append((rnode, s + mid, e))
+
+    return BVH(
+        node_lo=np.asarray(node_lo),
+        node_hi=np.asarray(node_hi),
+        left=np.asarray(left, dtype=np.intp),
+        right=np.asarray(right, dtype=np.intp),
+        leaf_start=np.asarray(leaf_start, dtype=np.intp),
+        leaf_count=np.asarray(leaf_count, dtype=np.intp),
+        prim_index=order,
+        centers=centers,
+        halves=halves,
+    )
+
+
+def bvh_from_octree(tree, *, leaf_size: int = 4) -> BVH:
+    """A BVH over the octree's FULL cells (identical represented solid)."""
+    from repro.octree.linear import STATUS_FULL
+
+    centers_parts = []
+    halves_parts = []
+    for l, lev in enumerate(tree.levels):
+        full = lev.status == STATUS_FULL
+        if full.any():
+            centers_parts.append(tree.centers(l, np.nonzero(full)[0]))
+            halves_parts.append(np.full(int(full.sum()), tree.cell_half(l)))
+    if not centers_parts:
+        return build_bvh(np.zeros((0, 3)), np.zeros(0), leaf_size=leaf_size)
+    return build_bvh(
+        np.concatenate(centers_parts), np.concatenate(halves_parts), leaf_size=leaf_size
+    )

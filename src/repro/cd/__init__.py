@@ -1,0 +1,47 @@
+"""Collision-detection algorithms: the paper's five evaluated methods.
+
+All methods compute the identical accessibility map — they differ only
+in how much work each CD test costs and how that work parallelizes:
+
+* :class:`PBox` — the baseline: every octree node gets the exact
+  216-op-per-cylinder ``CHECKBOX`` (Figure 4).
+* :class:`PBoxOpt` — "optimized PBox": an AABB cull after the rotation
+  step skips provably-missing boxes (the SculptPrint state of the art).
+* :class:`PICA` — ``CHECKICA`` with cone angles computed on the fly
+  (Section 3), falling back to ``CHECKBOX`` on corner cases.
+* :class:`MICA` — adds the stage-1 parallel ICA precompute: memoized
+  ``(ica1, ica2)`` for the top ``S`` levels (Section 4.2).
+* :class:`AICA` — adds the corner-case optimization: expand inconclusive
+  voxels into children instead of calling ``CHECKBOX`` (Section 4.3).
+
+Entry point: :func:`run_cd` in :mod:`repro.cd.traversal`.
+"""
+
+from repro.cd.scene import Scene
+from repro.cd.result import CDResult
+from repro.cd.methods import PBox, PBoxOpt, PICA, MICA, AICA, METHODS, method_by_name
+from repro.cd.traversal import run_cd, TraversalConfig
+from repro.cd.pathrun import PathRunResult, map_overlap, run_along_path
+from repro.cd.verify import brute_force_map, verify_result
+from repro.cd.sweep import SweepResult, check_rotation_sweep
+
+__all__ = [
+    "Scene",
+    "CDResult",
+    "PathRunResult",
+    "map_overlap",
+    "run_along_path",
+    "brute_force_map",
+    "verify_result",
+    "SweepResult",
+    "check_rotation_sweep",
+    "PBox",
+    "PBoxOpt",
+    "PICA",
+    "MICA",
+    "AICA",
+    "METHODS",
+    "method_by_name",
+    "run_cd",
+    "TraversalConfig",
+]

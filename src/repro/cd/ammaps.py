@@ -1,0 +1,150 @@
+"""Accessibility-map post-processing for tool-path planners.
+
+An accessibility map is rarely consumed raw: a 5-axis planner needs a
+*safety margin* (orientations too close to a blocked one are unsafe
+under servo error), wants *connected regions* of accessible orientations
+(the machine must sweep orientations continuously), and picks the
+orientation *deepest inside* the accessible set.  This module provides
+those operations on the ``(m, n)`` boolean maps produced by
+:class:`repro.cd.result.CDResult`.
+
+Grid topology: rows are the polar angle ``phi`` (no wraparound — the
+poles are map edges), columns are the azimuth ``gamma`` (periodic, so
+all column operations wrap).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "dilate_blocked",
+    "safe_accessible",
+    "connected_regions",
+    "clearance_depth",
+    "best_orientation",
+    "merge_accessible",
+]
+
+
+def _neighbors(mask: np.ndarray) -> np.ndarray:
+    """4-neighborhood OR with gamma wraparound and phi clamping."""
+    out = mask.copy()
+    out |= np.roll(mask, 1, axis=1)
+    out |= np.roll(mask, -1, axis=1)
+    out[1:] |= mask[:-1]
+    out[:-1] |= mask[1:]
+    return out
+
+
+def dilate_blocked(accessible: np.ndarray, steps: int = 1) -> np.ndarray:
+    """Grow the blocked set by ``steps`` grid cells; returns new accessible.
+
+    This is the conservative safety margin: an orientation within
+    ``steps`` cells of a collision is treated as blocked too.
+    """
+    acc = np.asarray(accessible, dtype=bool)
+    if acc.ndim != 2:
+        raise ValueError("accessibility map must be 2D (m, n)")
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    blocked = ~acc
+    for _ in range(steps):
+        blocked = _neighbors(blocked)
+    return ~blocked
+
+
+def safe_accessible(result, steps: int = 1) -> np.ndarray:
+    """Convenience: the margin-eroded accessible map of a CD result."""
+    return dilate_blocked(result.accessibility_map, steps)
+
+
+def connected_regions(accessible: np.ndarray) -> tuple[np.ndarray, int]:
+    """Label 4-connected accessible regions (gamma-periodic).
+
+    Returns ``(labels, count)`` with ``labels[i, j] = 0`` on blocked
+    cells and ``1..count`` on accessible ones.  Implemented as iterated
+    label propagation (maps are small: at most 256 x 256).
+    """
+    acc = np.asarray(accessible, dtype=bool)
+    if acc.ndim != 2:
+        raise ValueError("accessibility map must be 2D (m, n)")
+    labels = np.where(acc, np.arange(1, acc.size + 1).reshape(acc.shape), 0)
+    while True:
+        spread = labels.copy()
+        spread = np.maximum(spread, np.roll(labels, 1, axis=1))
+        spread = np.maximum(spread, np.roll(labels, -1, axis=1))
+        spread[1:] = np.maximum(spread[1:], labels[:-1])
+        spread[:-1] = np.maximum(spread[:-1], labels[1:])
+        spread[~acc] = 0
+        if np.array_equal(spread, labels):
+            break
+        labels = spread
+    # Compact label ids to 1..count.
+    uniq = np.unique(labels)
+    uniq = uniq[uniq > 0]
+    remap = {int(u): i + 1 for i, u in enumerate(uniq)}
+    out = np.zeros_like(labels)
+    for u, i in remap.items():
+        out[labels == u] = i
+    return out, len(uniq)
+
+
+def clearance_depth(accessible: np.ndarray) -> np.ndarray:
+    """Grid distance from each accessible cell to the nearest blocked cell.
+
+    Multi-source BFS on the (phi x periodic-gamma) grid; blocked cells get
+    0.  A fully accessible map gets ``m + n`` everywhere (no finite bound).
+    """
+    acc = np.asarray(accessible, dtype=bool)
+    if acc.ndim != 2:
+        raise ValueError("accessibility map must be 2D (m, n)")
+    if acc.all():
+        return np.full(acc.shape, acc.shape[0] + acc.shape[1], dtype=np.int64)
+    depth = np.zeros(acc.shape, dtype=np.int64)
+    frontier = ~acc
+    reached = frontier.copy()
+    d = 0
+    while not reached.all():
+        d += 1
+        frontier = _neighbors(reached) & ~reached
+        depth[frontier] = d
+        reached |= frontier
+    return depth
+
+
+def best_orientation(accessible: np.ndarray) -> tuple[int, int]:
+    """The accessible cell farthest (in grid distance) from any blocked cell.
+
+    Raises :class:`ValueError` when nothing is accessible.  Ties break
+    toward the smallest ``(phi, gamma)`` index, making the choice
+    deterministic for planners.
+    """
+    acc = np.asarray(accessible, dtype=bool)
+    if not acc.any():
+        raise ValueError("no accessible orientation")
+    depth = clearance_depth(acc)
+    depth = np.where(acc, depth, -1)
+    flat = int(np.argmax(depth))
+    return np.unravel_index(flat, acc.shape)  # type: ignore[return-value]
+
+
+def merge_accessible(maps, mode: str = "intersection") -> np.ndarray:
+    """Combine accessibility maps across pivots.
+
+    ``intersection`` gives orientations usable at *every* pivot (a fixed
+    tool orientation for the whole path); ``union`` gives orientations
+    usable somewhere (coverage analysis).
+    """
+    if mode not in ("intersection", "union"):
+        raise ValueError("mode must be 'intersection' or 'union'")
+    maps = [np.asarray(m, dtype=bool) for m in maps]
+    if not maps:
+        raise ValueError("no maps to merge")
+    shape = maps[0].shape
+    if any(m.shape != shape for m in maps):
+        raise ValueError("maps must share a shape")
+    out = maps[0].copy()
+    for m in maps[1:]:
+        out = (out & m) if mode == "intersection" else (out | m)
+    return out

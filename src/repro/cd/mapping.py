@@ -1,0 +1,172 @@
+"""The Section 4.1 thread-mapping alternative, for the mapping ablation.
+
+The paper weighs two parallelization strategies for the CD stage:
+
+* **orientation-per-thread** (chosen): each thread traverses the octree
+  for one orientation; collisions early-out the whole thread; no
+  inter-thread communication.
+* **voxel-per-thread** (rejected): each thread owns one base-level cell
+  and tests all ``M`` orientations against its subtree; the per-
+  orientation verdicts must then be OR-reduced across threads, and a
+  thread cannot exploit another subtree's collision to stop early.
+
+This module prices the rejected mapping on the *same* work distribution
+so the ablation bench can quantify the paper's argument.  The work items
+(orientation, node) are identical to the chosen mapping's up to early
+exits; what changes is (a) cost attribution — to the base cell, not the
+orientation, (b) the loss of cross-subtree early-out (an orientation
+that collides in subtree A is still fully processed in subtree B), and
+(c) a final ``M``-wide OR-reduction stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cd.scene import Scene
+from repro.cd.traversal import (
+    OUT_EXPAND,
+    OUT_YES,
+    Runtime,
+    TraversalConfig,
+    Wave,
+    _advance,
+    initial_frontier,
+)
+from repro.engine.costs import CostModel, DEFAULT_COSTS
+from repro.engine.counters import ThreadCounters
+from repro.engine.device import DeviceSpec, GTX_1080_TI
+from repro.engine.simt import simulate_kernel, simulate_stage
+from repro.geometry.orientation import OrientationGrid
+from repro.octree.linear import STATUS_FULL
+
+__all__ = ["VoxelMappingResult", "run_voxel_mapping"]
+
+
+@dataclass
+class VoxelMappingResult:
+    """Outcome of pricing the voxel-per-thread mapping."""
+
+    collides: np.ndarray  # (M,) — identical map to the standard mapping
+    n_threads: int  # number of base cells (the thread count)
+    thread_ops: np.ndarray  # (n_threads,) op cost per voxel thread
+    cd_seconds: float  # simulated CD-stage time
+    reduce_seconds: float  # simulated OR-reduction stage
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cd_seconds + self.reduce_seconds
+
+
+def run_voxel_mapping(
+    scene: Scene,
+    grid: OrientationGrid,
+    method,
+    *,
+    device: DeviceSpec = GTX_1080_TI,
+    costs: CostModel = DEFAULT_COSTS,
+    config: TraversalConfig = TraversalConfig(),
+) -> VoxelMappingResult:
+    """Price the voxel-per-thread mapping for ``method`` on ``scene``.
+
+    Runs the same frontier machinery with cost attribution keyed by each
+    pair's base-level ancestor and with early exit *disabled* (a voxel
+    thread has no global knowledge of other subtrees' collisions).  The
+    resulting map is identical; only the schedule differs.
+    """
+    M = grid.size
+    L0, base_codes, base_idx, base_status = initial_frontier(scene, config.start_level)
+    n_base = len(base_codes)
+    # Per-pair "thread" = index of the base cell the pair descends from.
+    # Counters are indexed by base cell, so reuse ThreadCounters with
+    # n_threads = number of base cells.
+    counters = ThreadCounters(n_threads=max(n_base, 1), n_cyl=scene.n_cylinders)
+    rt = Runtime(
+        scene=scene,
+        grid=grid,
+        counters=counters,
+        costs=costs,
+        config=config,
+    )
+    if getattr(method, "needs_table", False):
+        from repro.ica.table import build_ica_table
+
+        rt.table = build_ica_table(
+            scene.tree, scene.tool, scene.pivot, levels=config.memo_levels
+        )
+
+    collides = np.zeros(M, dtype=bool)
+    tree = scene.tree
+
+    # Process orientations in blocks as before, but key the frontier's
+    # "threads" by base-cell index and never drop pairs on collision.
+    for t0 in range(0, M, config.thread_block):
+        t1 = min(t0 + config.thread_block, M)
+        block = np.arange(t0, t1, dtype=np.intp)
+        nb = len(block)
+
+        owner = np.tile(np.arange(n_base, dtype=np.intp), nb)  # base-cell id
+        orient = np.repeat(block, n_base)  # true orientation id
+        codes = np.tile(base_codes, nb)
+        idx = np.tile(base_idx, nb)
+        status = np.tile(base_status, nb)
+
+        level = L0
+        while len(owner):
+            centers = tree.centers_of_codes(level, codes)
+            wave = Wave(
+                level=level,
+                threads=owner,  # cost attribution target
+                codes=codes,
+                idx=idx,
+                status=status,
+                centers=centers,
+                half=tree.cell_half(level),
+                dirs=rt.all_dirs[orient],
+            )
+            counters.add_threads("nodes_visited", owner, counters.n_threads)
+            outcomes = method.decide(rt, wave)
+
+            hit = (outcomes == OUT_YES) & (status == STATUS_FULL)
+            if hit.any():
+                collides[np.unique(orient[hit])] = True
+
+            # No early exit: expand every YES-on-MIXED / EXPAND pair.  We
+            # reuse _advance with per-pair pseudo-thread ids (so both the
+            # owner cell and the orientation can be recovered after the
+            # children are emitted) and an all-false collision vector,
+            # which disables its early-out filtering.
+            wave_pairs = Wave(
+                level=level,
+                threads=np.arange(len(owner), dtype=np.intp),
+                codes=codes,
+                idx=idx,
+                status=status,
+                centers=centers,
+                half=tree.cell_half(level),
+                dirs=rt.all_dirs[orient],
+            )
+            new_pairs, codes, idx, status = _advance(
+                rt, wave_pairs, outcomes, np.zeros(len(owner), dtype=bool)
+            )
+            owner = owner[new_pairs]
+            orient = orient[new_pairs]
+            level += 1
+            if level > tree.depth:
+                break
+
+    thread_ops = counters.thread_ops(costs)
+    cd_s = simulate_kernel(thread_ops, device)
+    # OR-reduction of n_base partial verdict vectors of length M: model as
+    # log2(n_base) rounds of M-thread elementwise ORs (1 op each).
+    rounds = int(np.ceil(np.log2(max(n_base, 2))))
+    reduce_s = sum(simulate_stage(1.0, M, device) for _ in range(rounds))
+    return VoxelMappingResult(
+        collides=collides,
+        n_threads=n_base,
+        thread_ops=thread_ops,
+        cd_seconds=cd_s,
+        reduce_seconds=reduce_s,
+    )

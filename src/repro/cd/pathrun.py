@@ -1,0 +1,99 @@
+"""Accessibility maps along a tool path + neighbor-overlap statistics.
+
+Section 8 of the paper points at two untapped opportunities; this module
+implements the evaluation side of the first one:
+
+    "neighboring pivot points ... are likely to have AM with overlapping
+    values. Therefore, future work should develop methods to reuse the
+    AM values among nearby pivots."
+
+:func:`run_along_path` computes the exact AM at every pivot of a path
+(no reuse — exactness first) and reports how much consecutive maps
+overlap, i.e. the upper bound on what any reuse scheme could save.  The
+``ablation_am_overlap`` bench uses it to quantify the paper's claim on
+the benchmark models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cd.result import CDResult
+from repro.cd.scene import Scene
+from repro.cd.traversal import TraversalConfig, run_cd
+from repro.engine.costs import CostModel, DEFAULT_COSTS
+from repro.engine.device import DeviceSpec, GTX_1080_TI
+from repro.geometry.orientation import OrientationGrid
+
+__all__ = ["PathRunResult", "run_along_path", "map_overlap"]
+
+
+def map_overlap(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of orientations on which two collision maps agree."""
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    if a.shape != b.shape:
+        raise ValueError("maps must have the same shape")
+    if a.size == 0:
+        return 1.0
+    return float((a == b).mean())
+
+
+@dataclass
+class PathRunResult:
+    """Per-pivot results plus consecutive-map overlap statistics."""
+
+    results: list[CDResult]
+    pivots: np.ndarray
+    overlaps: np.ndarray  # (n-1,) agreement between consecutive maps
+
+    @property
+    def mean_overlap(self) -> float:
+        """Mean consecutive agreement — the reuse headroom of Section 8."""
+        return float(self.overlaps.mean()) if len(self.overlaps) else 1.0
+
+    @property
+    def accessible_fraction(self) -> np.ndarray:
+        """Per-pivot fraction of accessible orientations."""
+        return np.array(
+            [r.n_accessible / r.grid.size for r in self.results], dtype=np.float64
+        )
+
+    def total_simulated_seconds(self) -> float:
+        return float(sum(r.timing.total_s for r in self.results))
+
+
+def run_along_path(
+    tree,
+    tool,
+    pivots: np.ndarray,
+    grid: OrientationGrid,
+    method,
+    *,
+    device: DeviceSpec = GTX_1080_TI,
+    costs: CostModel = DEFAULT_COSTS,
+    config: TraversalConfig = TraversalConfig(),
+) -> PathRunResult:
+    """Exact accessibility maps at every pivot, in path order.
+
+    The pivots should be ordered along the path (as
+    :func:`repro.path.offset.offset_path` returns them) so the overlap
+    statistics describe true neighbors.
+    """
+    pivots = np.asarray(pivots, dtype=np.float64)
+    if pivots.ndim != 2 or pivots.shape[1] != 3:
+        raise ValueError("pivots must be (n, 3)")
+    results = [
+        run_cd(Scene(tree, tool, p), grid, method, device=device, costs=costs, config=config)
+        for p in pivots
+    ]
+    overlaps = np.array(
+        [
+            map_overlap(a.collides, b.collides)
+            for a, b in zip(results, results[1:])
+        ],
+        dtype=np.float64,
+    )
+    return PathRunResult(results=results, pivots=pivots, overlaps=overlaps)

@@ -1,0 +1,71 @@
+"""CD run results: the accessibility map plus full instrumentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.counters import StageBreakdown, ThreadCounters
+from repro.geometry.orientation import OrientationGrid
+
+__all__ = ["CDResult"]
+
+
+@dataclass
+class CDResult:
+    """Output of one accessibility-map generation.
+
+    ``collides[t]`` is True when orientation ``t`` (row-major over the
+    grid) drives the tool into the target — a *black* point of the
+    paper's Figure 2.  ``timing`` carries both the simulated GPU kernel
+    time (the reproduction's comparable-to-paper metric) and the measured
+    NumPy wall time.
+    """
+
+    method: str
+    grid: OrientationGrid
+    collides: np.ndarray  # (M,) bool
+    counters: ThreadCounters
+    timing: StageBreakdown
+    device_name: str
+    table_entries: int = 0
+
+    @property
+    def accessibility_map(self) -> np.ndarray:
+        """The AM as an ``(m, n)`` boolean array, True = accessible."""
+        return self.grid.unflatten(~self.collides)
+
+    @property
+    def n_accessible(self) -> int:
+        return int((~self.collides).sum())
+
+    @property
+    def n_colliding(self) -> int:
+        return int(self.collides.sum())
+
+    def render_ascii(self, accessible: str = ".", blocked: str = "#") -> str:
+        """Figure 2 as text: rows are phi (top = toward +z), columns gamma."""
+        am = self.accessibility_map
+        return "\n".join(
+            "".join(accessible if cell else blocked for cell in row) for row in am
+        )
+
+    def summary(self) -> dict:
+        """Flat metrics dict, the unit the bench harness aggregates."""
+        c = self.counters
+        return {
+            "method": self.method,
+            "orientations": self.grid.size,
+            "colliding": self.n_colliding,
+            "total_checks": c.total_checks,
+            "box_checks": c.total_box_checks,
+            "ica_efficiency": c.ica_efficiency(),
+            "corner_cases": int(c.corner_cases.sum()),
+            "critical_thread_checks": int(c.nodes_visited.max(initial=0)),
+            "sim_precompute_ms": self.timing.ica_precompute_s * 1e3,
+            "sim_cd_ms": self.timing.cd_tests_s * 1e3,
+            "sim_total_ms": self.timing.total_s * 1e3,
+            "wall_ms": self.timing.wall_s * 1e3,
+            "table_entries": self.table_entries,
+        }

@@ -1,0 +1,39 @@
+"""The CD problem instance: target octree + tool + pivot point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.octree.linear import LinearOctree
+from repro.tool.tool import Tool
+
+__all__ = ["Scene"]
+
+
+@dataclass(frozen=True)
+class Scene:
+    """One collision-detection problem instance (inputs (a)-(c) of §2).
+
+    The orientation set (input (d)) is supplied separately as an
+    :class:`repro.geometry.orientation.OrientationGrid` so the same scene
+    can be queried at several map resolutions (the Figure 17 sweep).
+    """
+
+    tree: LinearOctree
+    tool: Tool
+    pivot: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "pivot", np.asarray(self.pivot, dtype=np.float64).reshape(3)
+        )
+
+    @property
+    def n_cylinders(self) -> int:
+        return self.tool.n_cylinders
+
+    def with_pivot(self, pivot) -> "Scene":
+        """Same target and tool, new pivot (for per-path-point sweeps)."""
+        return Scene(self.tree, self.tool, np.asarray(pivot, dtype=np.float64))

@@ -1,0 +1,283 @@
+"""The shared level-synchronous octree traversal (Algorithm 2, batched).
+
+On the GPU, each thread runs Algorithm 2's explicit-stack DFS over the
+octree for its orientation.  The vectorized equivalent used here is a
+*frontier*: the set of live (thread, node) pairs, advanced one octree
+level at a time.  Per level, the active method classifies every pair
+(``NO`` = prune, ``YES`` = the tool provably intersects the node's box,
+``EXPAND`` = AICA's inconclusive-but-expandable corner case), and the
+frontier is rebuilt:
+
+* ``YES`` on a FULL node -> the thread's orientation collides; all of
+  the thread's other pairs are dropped (Algorithm 2's early return);
+* ``YES`` on a MIXED node -> the node's stored children join the
+  frontier;
+* ``EXPAND`` on a FULL interior node -> eight *virtual* FULL sub-cells
+  join the frontier (geometric subdivision of a solid region, which the
+  stored tree does not materialize).
+
+The traversal visits exactly the nodes the per-thread DFS would visit,
+up to within-level ordering after a collision (a sequential thread stops
+mid-level; the batched version finishes the level).  Check counts per
+thread are recorded in :class:`~repro.engine.counters.ThreadCounters`
+and converted to simulated kernel time by :mod:`repro.engine.simt`.
+
+Threads are processed in blocks (GPU thread blocks) so peak frontier
+memory stays bounded at any map resolution.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cd.result import CDResult
+from repro.cd.scene import Scene
+from repro.engine.costs import CostModel, DEFAULT_COSTS
+from repro.engine.counters import StageBreakdown, ThreadCounters
+from repro.engine.device import DeviceSpec, GTX_1080_TI
+from repro.engine.simt import simulate_kernel, simulate_stage
+from repro.geometry.orientation import OrientationGrid
+from repro.ica.table import IcaTable, build_ica_table
+from repro.octree.linear import STATUS_FULL, STATUS_MIXED
+
+__all__ = ["TraversalConfig", "Runtime", "Wave", "run_cd", "OUT_NO", "OUT_YES", "OUT_EXPAND"]
+
+OUT_NO = np.uint8(0)
+OUT_YES = np.uint8(1)
+OUT_EXPAND = np.uint8(2)
+
+
+@dataclass(frozen=True)
+class TraversalConfig:
+    """Tunable parameters of the parallel scheme.
+
+    ``start_level`` is the paper's top-level expansion (top 5 levels
+    collapsed into one 32^3 base level); ``memo_levels`` is the paper's
+    ``S`` (stage-1 precompute depth, default 8); ``thread_block`` bounds
+    the number of orientations processed per frontier sweep.
+    """
+
+    start_level: int = 5
+    memo_levels: int = 8
+    thread_block: int = 2048
+    max_pairs: int = 4_000_000  # frontier chunking threshold inside a block
+
+
+@dataclass
+class Wave:
+    """One frontier level's pair arrays, as seen by a method's decide()."""
+
+    level: int
+    threads: np.ndarray  # (F,) global thread (orientation) indices
+    codes: np.ndarray  # (F,) uint64 Morton codes at `level`
+    idx: np.ndarray  # (F,) stored-node index at `level`, -1 if virtual
+    status: np.ndarray  # (F,) uint8 node status (virtual nodes are FULL)
+    centers: np.ndarray  # (F, 3) node centers
+    half: float  # cell half-edge at `level`
+    dirs: np.ndarray  # (F, 3) tool direction per pair
+
+    @property
+    def size(self) -> int:
+        return len(self.threads)
+
+
+@dataclass
+class Runtime:
+    """Per-run shared state handed to the methods."""
+
+    scene: Scene
+    grid: OrientationGrid
+    counters: ThreadCounters
+    costs: CostModel
+    config: TraversalConfig
+    table: IcaTable | None = None
+    all_dirs: np.ndarray = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.all_dirs is None:
+            self.all_dirs = self.grid.directions()
+
+
+def _ranges(counts: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(c)`` for each c in counts: [0..c0), [0..c1), ..."""
+    counts = np.asarray(counts, dtype=np.intp)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.intp)
+    starts = np.repeat(np.cumsum(counts) - counts, counts)
+    return np.arange(total, dtype=np.intp) - starts
+
+
+def initial_frontier(scene: Scene, start_level: int):
+    """Base cells after the top-level expansion.
+
+    Returns ``(level, codes, idx, status)`` where the cells are all
+    stored nodes at ``start_level`` plus the virtual leaf-ward expansion
+    of any FULL node living above it (a solid region coarser than the
+    base level still has to be visible to every thread).
+    """
+    tree = scene.tree
+    L0 = min(start_level, tree.depth)
+    codes = [tree.levels[L0].codes]
+    idx = [np.arange(tree.levels[L0].n, dtype=np.intp)]
+    status = [tree.levels[L0].status]
+    for l in range(L0):
+        lev = tree.levels[l]
+        full = lev.status == STATUS_FULL
+        if not full.any():
+            continue
+        shift = np.uint64(3 * (L0 - l))
+        base = lev.codes[full] << shift
+        n_sub = 1 << (3 * (L0 - l))
+        sub = (base[:, None] + np.arange(n_sub, dtype=np.uint64)).ravel()
+        codes.append(sub)
+        idx.append(np.full(len(sub), -1, dtype=np.intp))
+        status.append(np.full(len(sub), STATUS_FULL, dtype=np.uint8))
+    return (
+        L0,
+        np.concatenate(codes),
+        np.concatenate(idx),
+        np.concatenate(status),
+    )
+
+
+def _advance(rt: Runtime, wave: Wave, outcomes: np.ndarray, collides: np.ndarray):
+    """Apply one level's outcomes; return the next level's frontier arrays.
+
+    Marks collisions, drops pairs of collided threads, and expands the
+    surviving YES-on-MIXED / EXPAND pairs (stored children for MIXED,
+    virtual FULL octants for FULL interior nodes).
+    """
+    tree = rt.scene.tree
+    level = wave.level
+
+    hit = (outcomes == OUT_YES) & (wave.status == STATUS_FULL)
+    if hit.any():
+        collides[np.unique(wave.threads[hit])] = True
+
+    live = ~collides[wave.threads]
+    grow = ((outcomes == OUT_YES) & (wave.status == STATUS_MIXED)) | (outcomes == OUT_EXPAND)
+    grow &= live
+    if not grow.any() or level >= tree.depth:
+        return (
+            np.zeros(0, dtype=wave.threads.dtype),
+            np.zeros(0, dtype=np.uint64),
+            np.zeros(0, dtype=np.intp),
+            np.zeros(0, dtype=np.uint8),
+        )
+
+    nxt = tree.levels[level + 1]
+    out_threads = []
+    out_codes = []
+    out_idx = []
+    out_status = []
+
+    stored = grow & (wave.status == STATUS_MIXED)
+    if stored.any():
+        parent_idx = wave.idx[stored]
+        lev = tree.levels[level]
+        cs = lev.child_start[parent_idx]
+        cc = lev.child_count[parent_idx].astype(np.intp)
+        child_idx = np.repeat(cs, cc) + _ranges(cc)
+        out_threads.append(np.repeat(wave.threads[stored], cc))
+        out_codes.append(nxt.codes[child_idx])
+        out_idx.append(child_idx)
+        out_status.append(nxt.status[child_idx])
+
+    virtual = grow & (wave.status == STATUS_FULL)
+    if virtual.any():
+        base = wave.codes[virtual] << np.uint64(3)
+        sub = (base[:, None] + np.arange(8, dtype=np.uint64)).ravel()
+        out_threads.append(np.repeat(wave.threads[virtual], 8))
+        out_codes.append(sub)
+        out_idx.append(np.full(len(sub), -1, dtype=np.intp))
+        out_status.append(np.full(len(sub), STATUS_FULL, dtype=np.uint8))
+
+    return (
+        np.concatenate(out_threads),
+        np.concatenate(out_codes),
+        np.concatenate(out_idx),
+        np.concatenate(out_status),
+    )
+
+
+def run_cd(
+    scene: Scene,
+    grid: OrientationGrid,
+    method,
+    *,
+    device: DeviceSpec = GTX_1080_TI,
+    costs: CostModel = DEFAULT_COSTS,
+    config: TraversalConfig = TraversalConfig(),
+) -> CDResult:
+    """Generate the accessibility map for ``scene`` with ``method``.
+
+    ``method`` is one of the classes in :mod:`repro.cd.methods`.  Returns
+    a :class:`CDResult` whose counters and timing cover both traversal
+    stages (the ICA precompute, when the method uses one, and the CD
+    tests).
+    """
+    t_wall0 = time.perf_counter()
+    M = grid.size
+    counters = ThreadCounters(n_threads=M, n_cyl=scene.n_cylinders)
+    rt = Runtime(scene=scene, grid=grid, counters=counters, costs=costs, config=config)
+
+    table_entries = 0
+    if getattr(method, "needs_table", False):
+        rt.table = build_ica_table(
+            scene.tree, scene.tool, scene.pivot, levels=config.memo_levels
+        )
+        table_entries = rt.table.n_entries
+
+    L0, base_codes, base_idx, base_status = initial_frontier(scene, config.start_level)
+    collides = np.zeros(M, dtype=bool)
+    tree = scene.tree
+
+    for t0 in range(0, M, config.thread_block):
+        t1 = min(t0 + config.thread_block, M)
+        block = np.arange(t0, t1, dtype=np.intp)
+        nb = len(base_codes)
+        threads = np.repeat(block, nb)
+        codes = np.tile(base_codes, len(block))
+        idx = np.tile(base_idx, len(block))
+        status = np.tile(base_status, len(block))
+
+        level = L0
+        while len(threads):
+            centers = tree.centers_of_codes(level, codes)
+            wave = Wave(
+                level=level,
+                threads=threads,
+                codes=codes,
+                idx=idx,
+                status=status,
+                centers=centers,
+                half=tree.cell_half(level),
+                dirs=rt.all_dirs[threads],
+            )
+            counters.add_threads("nodes_visited", threads, M)
+            outcomes = method.decide(rt, wave)
+            threads, codes, idx, status = _advance(rt, wave, outcomes, collides)
+            level += 1
+            if level > tree.depth:
+                break
+
+    wall = time.perf_counter() - t_wall0
+    cd_s = simulate_kernel(counters.thread_ops(costs), device)
+    pre_s = (
+        simulate_stage(costs.ica_precompute(scene.n_cylinders), table_entries, device)
+        if table_entries
+        else 0.0
+    )
+    return CDResult(
+        method=method.name,
+        grid=grid,
+        collides=collides,
+        counters=counters,
+        timing=StageBreakdown(ica_precompute_s=pre_s, cd_tests_s=cd_s, wall_s=wall),
+        device_name=device.name,
+        table_entries=table_entries,
+    )

@@ -1,0 +1,62 @@
+"""Independent ground-truth verification of accessibility maps.
+
+:func:`brute_force_map` recomputes a scene's collision map directly:
+gather *every* FULL cell of the octree (at any level) and run the exact
+whole-tool CHECKBOX against each, with no octree pruning, no cone
+bounds, and no shared traversal code.  It is O(M x FULL-cells) — far too
+slow for production — but shares no logic with
+:mod:`repro.cd.traversal`, which makes it the arbiter the test suite
+(and any downstream user integrating a new method) checks against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cd.result import CDResult
+from repro.cd.scene import Scene
+from repro.geometry.batch import tool_aabb_batch
+from repro.geometry.orientation import OrientationGrid
+from repro.octree.linear import STATUS_FULL
+
+__all__ = ["brute_force_map", "verify_result"]
+
+
+def brute_force_map(scene: Scene, grid: OrientationGrid) -> np.ndarray:
+    """The exact collision map, computed without any acceleration.
+
+    Returns a ``(M,)`` boolean array aligned with
+    :attr:`repro.cd.result.CDResult.collides`.
+    """
+    tree = scene.tree
+    centers_parts = []
+    halves_parts = []
+    for l, lev in enumerate(tree.levels):
+        full = lev.status == STATUS_FULL
+        if full.any():
+            centers_parts.append(tree.centers(l, np.nonzero(full)[0]))
+            halves_parts.append(np.full(int(full.sum()), tree.cell_half(l)))
+    if not centers_parts:
+        return np.zeros(grid.size, dtype=bool)
+    centers = np.concatenate(centers_parts)
+    halves = np.concatenate(halves_parts)
+
+    dirs = grid.directions()
+    out = np.zeros(grid.size, dtype=bool)
+    for t in range(grid.size):
+        hit = tool_aabb_batch(
+            scene.pivot,
+            np.broadcast_to(dirs[t], (len(centers), 3)),
+            centers,
+            halves,
+            scene.tool.z0,
+            scene.tool.z1,
+            scene.tool.radius,
+        )
+        out[t] = bool(hit.any())
+    return out
+
+
+def verify_result(scene: Scene, result: CDResult) -> bool:
+    """True iff ``result``'s map matches the brute-force ground truth."""
+    return bool(np.array_equal(result.collides, brute_force_map(scene, result.grid)))

@@ -1,0 +1,69 @@
+"""``repro-bench`` command-line entry point.
+
+Usage::
+
+    repro-bench list                 # available experiments
+    repro-bench fig16                # run one experiment and print it
+    repro-bench all                  # run everything (respects scale)
+    REPRO_BENCH_SCALE=medium repro-bench fig05
+
+Exit code is nonzero on unknown experiment names so the CLI is safe to
+script in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.config import SCALES, current_scale
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures "
+        "(AICA collision detection, ICPP 2019).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig16), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="override REPRO_BENCH_SCALE for this run",
+    )
+    args = parser.parse_args(argv)
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+
+    if args.experiment == "list":
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:22s} {doc}")
+        return 0
+
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+
+    for name in names:
+        t0 = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](scale)
+        dt = time.perf_counter() - t0
+        print(result.render())
+        print(f"\n[{name} completed in {dt:.1f}s at scale={scale.name}]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

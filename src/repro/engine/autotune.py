@@ -1,0 +1,79 @@
+"""Automatic tuning of the precompute depth ``S`` (Section 8 future work).
+
+The paper tunes ``S`` (how many octree levels get memoized ICA tables)
+by hand per GPU and suggests "an algorithm that can intelligently tune
+the parameter S" as future work.  :func:`tune_memo_levels` is that
+algorithm in its simplest sound form: sweep the candidate depths on the
+target device's *simulated* cost model and keep the argmin of total
+(precompute + CD) time.  Because the simulation is deterministic and
+cheap relative to production runs, the sweep is an offline planning
+step — exactly how a CAM system would calibrate per installed GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.engine.costs import CostModel, DEFAULT_COSTS
+from repro.engine.device import DeviceSpec, GTX_1080_TI
+from repro.geometry.orientation import OrientationGrid
+
+if TYPE_CHECKING:  # the CD layer sits above the engine; import lazily
+    from repro.cd.traversal import TraversalConfig
+
+__all__ = ["TuneRow", "tune_memo_levels"]
+
+
+@dataclass(frozen=True)
+class TuneRow:
+    """One sweep point of the S tuner."""
+
+    memo_levels: int
+    table_entries: int
+    precompute_s: float
+    cd_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.precompute_s + self.cd_s
+
+
+def tune_memo_levels(
+    scene,
+    grid: OrientationGrid,
+    method,
+    *,
+    device: DeviceSpec = GTX_1080_TI,
+    costs: CostModel = DEFAULT_COSTS,
+    min_levels: int = 2,
+    base_config: "TraversalConfig | None" = None,
+) -> tuple[int, list[TuneRow]]:
+    """Pick the simulated-time-optimal ``S`` for (scene, grid, device).
+
+    Returns ``(best_S, rows)`` where ``rows`` holds the full sweep for
+    reporting.  Ties prefer the smaller table (less memory).
+    """
+    from repro.cd.traversal import TraversalConfig, run_cd
+
+    if base_config is None:
+        base_config = TraversalConfig()
+    rows: list[TuneRow] = []
+    for S in range(min_levels, scene.tree.depth + 2):
+        cfg = TraversalConfig(
+            start_level=base_config.start_level,
+            memo_levels=S,
+            thread_block=base_config.thread_block,
+            max_pairs=base_config.max_pairs,
+        )
+        r = run_cd(scene, grid, method, device=device, costs=costs, config=cfg)
+        rows.append(
+            TuneRow(
+                memo_levels=S,
+                table_entries=r.table_entries,
+                precompute_s=r.timing.ica_precompute_s,
+                cd_s=r.timing.cd_tests_s,
+            )
+        )
+    best = min(rows, key=lambda row: (row.total_s, row.table_entries))
+    return best.memo_levels, rows

@@ -1,0 +1,73 @@
+"""Device specifications for the simulated SIMT model (Table 2).
+
+The two presets mirror the paper's test platforms.  Note the deliberate
+tension between them that Section 5.2 remarks on: the GTX 1080 has a
+*higher clock* (1.77 vs 1.68 GHz) but *fewer cores* (2560 vs 3548), so
+per-thread latency-bound phases run faster on the 1080 while the
+massively parallel ICA precompute runs faster on the 1080 Ti — the
+simulated model reproduces exactly that inversion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceSpec", "GTX_1080_TI", "GTX_1080", "DEVICES", "scaled_device"]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """A SIMT device: ``cuda_cores`` lanes at ``clock_ghz``, in warps of 32."""
+
+    name: str
+    cuda_cores: int
+    clock_ghz: float
+    warp_size: int = 32
+    memory_gb: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.cuda_cores < self.warp_size:
+            raise ValueError("device needs at least one warp of cores")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+
+    @property
+    def warp_slots(self) -> int:
+        """Number of warps the device executes concurrently."""
+        return self.cuda_cores // self.warp_size
+
+    @property
+    def seconds_per_op(self) -> float:
+        """Wall time of one elementary operation on one lane (1 op/cycle)."""
+        return 1.0 / (self.clock_ghz * 1e9)
+
+
+#: The paper's primary platform (Table 2; it quotes 3548 CUDA cores).
+GTX_1080_TI = DeviceSpec("GTX 1080 Ti", cuda_cores=3548, clock_ghz=1.68, memory_gb=11.0)
+
+#: The secondary platform.
+GTX_1080 = DeviceSpec("GTX 1080", cuda_cores=2560, clock_ghz=1.77, memory_gb=8.0)
+
+DEVICES: dict[str, DeviceSpec] = {d.name: d for d in (GTX_1080_TI, GTX_1080)}
+
+
+def scaled_device(device: DeviceSpec, divisor: int) -> DeviceSpec:
+    """A proportionally smaller device (cores / divisor, same clock).
+
+    Scaled-down benches use this so occupancy effects — the flat region
+    of Figure 5/17 below the core count, and its linear region above —
+    appear within feasible map resolutions.  ``divisor=1`` is the
+    identity.
+    """
+    if divisor < 1:
+        raise ValueError("divisor must be >= 1")
+    if divisor == 1:
+        return device
+    cores = max(device.cuda_cores // divisor, device.warp_size)
+    return DeviceSpec(
+        name=f"{device.name} /{divisor}",
+        cuda_cores=cores,
+        clock_ghz=device.clock_ghz,
+        warp_size=device.warp_size,
+        memory_gb=device.memory_gb,
+    )

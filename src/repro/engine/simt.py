@@ -1,0 +1,90 @@
+"""SIMT kernel-time simulation.
+
+Model
+-----
+A kernel launches one logical thread per work item with a known
+elementary-op cost.  Threads are packed into warps of ``warp_size`` in
+index order (consecutive orientations share a warp — the coherence the
+orientation-per-thread mapping is chosen for); a warp's cost is the
+*maximum* of its threads (lock-step divergence).  Warps are then
+scheduled onto the device's warp slots with a longest-processing-time
+greedy, and the kernel time is the makespan divided by the clock.
+
+This reproduces the behaviours the paper calls out:
+
+* maps smaller than the core count run in near-constant time (Fig 5
+  right: flat below ``32^2``/``64^2``);
+* the kernel is bounded by the *critical thread* (Fig 13/14);
+* a higher clock wins latency-bound phases while more cores win
+  throughput-bound ones (the 1080 vs 1080 Ti inversions in Fig 14).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.engine.device import DeviceSpec
+
+__all__ = ["warp_costs", "makespan_cycles", "simulate_kernel", "simulate_stage"]
+
+
+def warp_costs(thread_ops: np.ndarray, warp_size: int) -> np.ndarray:
+    """Per-warp cycle costs: max over each consecutive ``warp_size`` group."""
+    ops = np.asarray(thread_ops, dtype=np.float64)
+    if ops.size == 0:
+        return np.zeros(0)
+    pad = (-ops.size) % warp_size
+    if pad:
+        ops = np.concatenate([ops, np.zeros(pad)])
+    return ops.reshape(-1, warp_size).max(axis=1)
+
+
+def makespan_cycles(warps: np.ndarray, slots: int) -> float:
+    """LPT greedy makespan of warp costs over ``slots`` parallel slots.
+
+    Exact greedy for moderate warp counts; for very large inputs the
+    result converges to ``max(total/slots, max_warp)`` anyway, so the
+    greedy is truncated: the heaviest warps are placed exactly and the
+    (tiny) tail is spread evenly.
+    """
+    warps = np.asarray(warps, dtype=np.float64)
+    if warps.size == 0:
+        return 0.0
+    if warps.size <= slots:
+        return float(warps.max())
+    order = np.sort(warps)[::-1]
+    head = order[: max(slots * 64, 4096)]
+    tail_total = float(order[head.size :].sum())
+    loads = [0.0] * slots
+    heapq.heapify(loads)
+    for w in head:
+        heapq.heappush(loads, heapq.heappop(loads) + float(w))
+    # Spread the small remaining warps evenly (they are all lighter than
+    # anything placed so far, so LPT would balance them near-perfectly).
+    loads = [l + tail_total / slots for l in loads]
+    return float(max(loads))
+
+
+def simulate_kernel(thread_ops: np.ndarray, device: DeviceSpec) -> float:
+    """Simulated seconds for one kernel launch of per-thread op costs."""
+    w = warp_costs(thread_ops, device.warp_size)
+    cycles = makespan_cycles(w, device.warp_slots)
+    return cycles * device.seconds_per_op
+
+
+def simulate_stage(
+    uniform_ops: float, n_threads: int, device: DeviceSpec
+) -> float:
+    """Simulated seconds for a stage whose threads all cost the same.
+
+    Used for the pleasingly parallel ICA precompute: ``n_threads`` voxels
+    at ``uniform_ops`` each — no divergence, so the makespan closed form
+    ``ceil(warps/slots) * ops`` is exact.
+    """
+    if n_threads == 0:
+        return 0.0
+    warps = -(-n_threads // device.warp_size)
+    rounds = -(-warps // device.warp_slots)
+    return rounds * uniform_ops * device.seconds_per_op

@@ -1,0 +1,46 @@
+"""Geometry kernel: vectors, frames, orientations, volumes, and exact predicates.
+
+This package provides the low-level geometric substrate that the
+collision-detection algorithms (:mod:`repro.cd`) are built on:
+
+* :mod:`repro.geometry.vec` — small vector helpers over ``(..., 3)`` arrays.
+* :mod:`repro.geometry.frames` — orthonormal frames and the rotation that
+  axis-aligns a cylinder (the paper's 9-operation *rotation* step).
+* :mod:`repro.geometry.orientation` — polar ``(phi, gamma)`` orientation
+  grids used for accessibility maps.
+* :mod:`repro.geometry.aabb` / :mod:`sphere` / :mod:`cylinder` — the volume
+  primitives.
+* :mod:`repro.geometry.predicates` — exact scalar intersection tests,
+  including the paper's ``CHECKBOX`` cylinder-box test.
+* :mod:`repro.geometry.batch` — vectorized (NumPy-broadcast) versions of the
+  predicates, the "GPU kernels" of this reproduction.
+"""
+
+from repro.geometry.aabb import AABB
+from repro.geometry.cylinder import Cylinder
+from repro.geometry.frames import frame_from_axis, rotation_to_axis
+from repro.geometry.orientation import (
+    OrientationGrid,
+    DirectionSet,
+    direction_from_angles,
+    angles_from_direction,
+    slerp_directions,
+)
+from repro.geometry.sphere import Sphere
+from repro.geometry.vec import norm, normalize, dot
+
+__all__ = [
+    "AABB",
+    "Cylinder",
+    "Sphere",
+    "OrientationGrid",
+    "DirectionSet",
+    "slerp_directions",
+    "direction_from_angles",
+    "angles_from_direction",
+    "frame_from_axis",
+    "rotation_to_axis",
+    "norm",
+    "normalize",
+    "dot",
+]

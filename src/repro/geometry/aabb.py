@@ -1,0 +1,108 @@
+"""Axis-aligned bounding boxes (the *voxel* primitive).
+
+Octree voxels are cubes, but the predicate layer works with general
+AABBs so the same code serves bounding-volume culling (the *optimized
+PBox* method) and the Section 6 box-as-two-cylinders extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vec import as_vec3
+
+__all__ = ["AABB"]
+
+
+@dataclass(frozen=True)
+class AABB:
+    """Closed axis-aligned box ``[lo, hi]`` in world coordinates."""
+
+    lo: np.ndarray
+    hi: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lo", as_vec3(self.lo).astype(np.float64))
+        object.__setattr__(self, "hi", as_vec3(self.hi).astype(np.float64))
+        if self.lo.shape != (3,) or self.hi.shape != (3,):
+            raise ValueError("AABB endpoints must be single 3-vectors")
+        if np.any(self.hi < self.lo):
+            raise ValueError(f"inverted AABB: lo={self.lo}, hi={self.hi}")
+
+    @classmethod
+    def from_center_half(cls, center, half) -> "AABB":
+        """Box from center and (scalar or per-axis) half extent."""
+        center = as_vec3(center)
+        half = np.broadcast_to(np.asarray(half, np.float64), (3,))
+        return cls(center - half, center + half)
+
+    @classmethod
+    def cube(cls, center, half: float) -> "AABB":
+        """Axis-aligned cube — the shape of every octree voxel."""
+        return cls.from_center_half(center, float(half))
+
+    @property
+    def center(self) -> np.ndarray:
+        return 0.5 * (self.lo + self.hi)
+
+    @property
+    def half_extent(self) -> np.ndarray:
+        return 0.5 * (self.hi - self.lo)
+
+    @property
+    def size(self) -> np.ndarray:
+        return self.hi - self.lo
+
+    @property
+    def inscribed_radius(self) -> float:
+        """Radius of the largest sphere inside the box (``sphere_1`` of Fig. 8)."""
+        return float(np.min(self.half_extent))
+
+    @property
+    def circumscribed_radius(self) -> float:
+        """Radius of the smallest sphere containing the box (``sphere_2``).
+
+        For a cube of half-edge ``r`` this is ``sqrt(3)*r``, the factor the
+        paper uses in ``CHECKICA`` line 4.
+        """
+        return float(np.linalg.norm(self.half_extent))
+
+    def corners(self) -> np.ndarray:
+        """The 8 corners, shape ``(8, 3)``, in lexicographic bit order.
+
+        Corner ``k`` takes ``hi`` on axis ``a`` iff bit ``a`` of ``k`` is
+        set; the fixed ordering lets edge tables in the predicates index
+        corners by bit arithmetic.
+        """
+        k = np.arange(8)
+        bits = np.stack([(k >> a) & 1 for a in range(3)], axis=-1).astype(np.float64)
+        return self.lo + bits * self.size
+
+    def contains(self, points) -> np.ndarray:
+        """Broadcasted point-in-box test (closed box)."""
+        p = np.asarray(points, dtype=np.float64)
+        return np.all((p >= self.lo) & (p <= self.hi), axis=-1)
+
+    def distance_to_point(self, points) -> np.ndarray:
+        """Broadcasted Euclidean distance from point(s) to the box (0 inside)."""
+        p = np.asarray(points, dtype=np.float64)
+        d = np.maximum(self.lo - p, 0.0) + np.maximum(p - self.hi, 0.0)
+        return np.sqrt(np.einsum("...i,...i->...", d, d))
+
+    def intersects(self, other: "AABB") -> bool:
+        """Closed box-box overlap (touching counts as intersecting)."""
+        return bool(np.all(self.lo <= other.hi) and np.all(other.lo <= self.hi))
+
+    def union(self, other: "AABB") -> "AABB":
+        return AABB(np.minimum(self.lo, other.lo), np.maximum(self.hi, other.hi))
+
+    def octant(self, k: int) -> "AABB":
+        """Child octant ``k`` (0..7) using the same bit order as :meth:`corners`."""
+        if not 0 <= k < 8:
+            raise ValueError(f"octant index must be 0..7, got {k}")
+        c = self.center
+        bits = np.array([(k >> a) & 1 for a in range(3)], dtype=np.float64)
+        lo = self.lo + bits * self.half_extent
+        return AABB(lo, lo + self.half_extent)

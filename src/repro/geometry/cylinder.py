@@ -1,0 +1,117 @@
+"""Finite (flat-capped) cylinders — the tool bounding volumes.
+
+A tool (Figure 1 of the paper) is a stack of bounding cylinders sharing
+one axis that passes through the pivot point.  Each cylinder is stored
+in *tool coordinates*: an axial interval ``[z0, z1]`` measured from the
+pivot along the tool direction, plus a radius.  Orienting the tool then
+only changes the (shared) axis direction, never the cylinder parameters,
+which is the property the ICA abstraction exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.vec import as_vec3, normalize
+
+__all__ = ["Cylinder"]
+
+
+@dataclass(frozen=True)
+class Cylinder:
+    """Solid cylinder ``{p + z*d + w : z in [z0, z1], w ⟂ d, |w| <= radius}``.
+
+    ``pivot`` is the anchoring point, ``direction`` the (normalized on
+    construction) axis.  ``z0 <= z1`` delimit the axial span; ``z0`` may be
+    negative (cylinder extends behind the pivot).
+    """
+
+    pivot: np.ndarray
+    direction: np.ndarray
+    z0: float
+    z1: float
+    radius: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pivot", as_vec3(self.pivot).astype(np.float64))
+        object.__setattr__(self, "direction", normalize(as_vec3(self.direction)))
+        object.__setattr__(self, "z0", float(self.z0))
+        object.__setattr__(self, "z1", float(self.z1))
+        object.__setattr__(self, "radius", float(self.radius))
+        if self.pivot.shape != (3,):
+            raise ValueError("Cylinder pivot must be a single 3-vector")
+        if self.z1 < self.z0:
+            raise ValueError(f"inverted axial span [{self.z0}, {self.z1}]")
+        if self.radius < 0.0:
+            raise ValueError(f"negative radius {self.radius}")
+
+    @property
+    def height(self) -> float:
+        return self.z1 - self.z0
+
+    @property
+    def base_center(self) -> np.ndarray:
+        """Center of the cap at ``z0``."""
+        return self.pivot + self.z0 * self.direction
+
+    @property
+    def top_center(self) -> np.ndarray:
+        """Center of the cap at ``z1``."""
+        return self.pivot + self.z1 * self.direction
+
+    def axial_radial(self, points) -> tuple[np.ndarray, np.ndarray]:
+        """Decompose point(s) into (axial, radial) cylinder coordinates.
+
+        ``axial`` is the signed distance along the axis from the pivot;
+        ``radial`` the distance from the axis line.  This is the 2D
+        reduction at the heart of the ICA abstraction: for any solid of
+        revolution about the axis, membership depends only on this pair.
+        """
+        p = np.asarray(points, dtype=np.float64) - self.pivot
+        axial = np.einsum("...i,i->...", p, self.direction)
+        radial_vec = p - axial[..., None] * self.direction
+        radial = np.sqrt(np.einsum("...i,...i->...", radial_vec, radial_vec))
+        return axial, radial
+
+    def contains(self, points) -> np.ndarray:
+        """Broadcasted membership test for the closed solid cylinder."""
+        axial, radial = self.axial_radial(points)
+        return (axial >= self.z0) & (axial <= self.z1) & (radial <= self.radius)
+
+    def distance_to_point(self, points) -> np.ndarray:
+        """Broadcasted distance from point(s) to the closed solid (0 inside).
+
+        Computed exactly in the 2D (axial, radial) plane: the distance to
+        the rectangle ``[z0, z1] x [0, radius]``.
+        """
+        axial, radial = self.axial_radial(points)
+        dz = np.maximum(self.z0 - axial, 0.0) + np.maximum(axial - self.z1, 0.0)
+        dr = np.maximum(radial - self.radius, 0.0)
+        return np.hypot(dz, dr)
+
+    def aabb_world(self):
+        """Tight world-space AABB of this cylinder (used by PBoxOpt culling).
+
+        For a finite cylinder with unit axis ``d``, the half-extent along
+        world axis ``a`` of the circular cross-section is
+        ``radius * sqrt(1 - d[a]^2)``.
+        """
+        from repro.geometry.aabb import AABB  # local import: avoid cycle
+
+        d = self.direction
+        lateral = self.radius * np.sqrt(np.clip(1.0 - d * d, 0.0, 1.0))
+        c0 = self.base_center
+        c1 = self.top_center
+        lo = np.minimum(c0, c1) - lateral
+        hi = np.maximum(c0, c1) + lateral
+        return AABB(lo, hi)
+
+    def with_orientation(self, direction) -> "Cylinder":
+        """The same tool cylinder re-aimed along a new direction."""
+        return Cylinder(self.pivot, direction, self.z0, self.z1, self.radius)
+
+    def with_pivot(self, pivot) -> "Cylinder":
+        """The same tool cylinder anchored at a new pivot point."""
+        return Cylinder(pivot, self.direction, self.z0, self.z1, self.radius)

@@ -1,0 +1,175 @@
+"""Polar orientation grids for accessibility maps.
+
+A tool orientation is a unit direction parameterized by polar
+coordinates ``(phi, gamma)`` with ``phi in (0, pi)`` measured from the
+``+z`` axis and ``gamma in (0, 2*pi)`` the azimuth, exactly as in
+Figure 1 of the paper.  An accessibility map at ``(m, n)`` resolution
+discretizes this rectangle uniformly into ``m * n`` sample orientations
+(Figure 2); the CD algorithms assign one GPU thread per sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "direction_from_angles",
+    "angles_from_direction",
+    "OrientationGrid",
+    "DirectionSet",
+    "slerp_directions",
+]
+
+
+def direction_from_angles(phi, gamma) -> np.ndarray:
+    """Unit direction(s) for polar angles; broadcasts, returns ``(..., 3)``.
+
+    ``d = (sin(phi) cos(gamma), sin(phi) sin(gamma), cos(phi))``.
+    """
+    phi, gamma = np.broadcast_arrays(
+        np.asarray(phi, dtype=np.float64), np.asarray(gamma, dtype=np.float64)
+    )
+    sp = np.sin(phi)
+    return np.stack([sp * np.cos(gamma), sp * np.sin(gamma), np.cos(phi)], axis=-1)
+
+
+def angles_from_direction(d) -> tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`direction_from_angles` (``gamma`` in ``[0, 2*pi)``)."""
+    d = np.asarray(d, dtype=np.float64)
+    phi = np.arccos(np.clip(d[..., 2], -1.0, 1.0))
+    gamma = np.arctan2(d[..., 1], d[..., 0]) % (2.0 * np.pi)
+    return phi, gamma
+
+
+@dataclass(frozen=True)
+class OrientationGrid:
+    """A uniform ``m x n`` discretization of the ``(phi, gamma)`` rectangle.
+
+    ``m`` rows sample ``phi`` (polar), ``n`` columns sample ``gamma``
+    (azimuth).  Cell centers are used (``phi_i = pi*(i+0.5)/m``) so that no
+    sample sits exactly at the coordinate singularities ``phi = 0, pi``.
+
+    This is the *map resolution* the paper sweeps in Figures 5 and 17: the
+    total thread count of the CD stage is ``size = m * n``.
+    """
+
+    m: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1:
+            raise ValueError(f"grid resolution must be positive, got {self.m}x{self.n}")
+
+    @classmethod
+    def square(cls, l: int) -> "OrientationGrid":
+        """The paper's ``l^2`` map (e.g. ``square(64)`` is the 64x64 AM)."""
+        return cls(l, l)
+
+    @property
+    def size(self) -> int:
+        """Total number of orientations ``M = m * n`` (one per GPU thread)."""
+        return self.m * self.n
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.m, self.n)
+
+    def phis(self) -> np.ndarray:
+        """The ``m`` sampled polar angles."""
+        return np.pi * (np.arange(self.m) + 0.5) / self.m
+
+    def gammas(self) -> np.ndarray:
+        """The ``n`` sampled azimuth angles."""
+        return 2.0 * np.pi * (np.arange(self.n) + 0.5) / self.n
+
+    def angles(self) -> tuple[np.ndarray, np.ndarray]:
+        """Meshgrid of ``(phi, gamma)`` arrays, each of shape ``(m, n)``."""
+        return np.meshgrid(self.phis(), self.gammas(), indexing="ij")
+
+    def directions(self) -> np.ndarray:
+        """All sample directions, flattened row-major to ``(m*n, 3)``.
+
+        Row-major ("gamma fastest") ordering matches the thread-index
+        layout used by the SIMT model, so warp ``k`` covers 32 consecutive
+        azimuth samples — adjacent orientations, the coherence the paper's
+        GPU mapping relies on.
+        """
+        phi, gamma = self.angles()
+        return direction_from_angles(phi, gamma).reshape(-1, 3)
+
+    def unflatten(self, values: np.ndarray) -> np.ndarray:
+        """Reshape a per-orientation vector back into the ``(m, n)`` map."""
+        values = np.asarray(values)
+        if values.shape[0] != self.size:
+            raise ValueError(f"expected {self.size} values, got {values.shape[0]}")
+        return values.reshape(self.m, self.n, *values.shape[1:])
+
+
+class DirectionSet:
+    """An explicit list of orientations, drop-in where a grid is expected.
+
+    The CD entry point (:func:`repro.cd.traversal.run_cd`) only needs
+    ``size``, ``shape``, ``directions()`` and ``unflatten()`` from its
+    orientation argument, so arbitrary direction lists — sweep samples,
+    adaptive refinements, externally chosen pose sets — can be queried
+    through the same machinery as uniform maps.
+    """
+
+    def __init__(self, directions):
+        d = np.asarray(directions, dtype=np.float64)
+        if d.ndim != 2 or d.shape[1] != 3 or len(d) == 0:
+            raise ValueError("directions must be a non-empty (n, 3) array")
+        norms = np.linalg.norm(d, axis=1)
+        if np.any(np.abs(norms - 1.0) > 1e-9):
+            raise ValueError("directions must be unit vectors")
+        self._dirs = d
+
+    @property
+    def size(self) -> int:
+        return len(self._dirs)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.size, 1)
+
+    @property
+    def m(self) -> int:
+        return self.size
+
+    @property
+    def n(self) -> int:
+        return 1
+
+    def directions(self) -> np.ndarray:
+        return self._dirs
+
+    def unflatten(self, values: np.ndarray) -> np.ndarray:
+        values = np.asarray(values)
+        if values.shape[0] != self.size:
+            raise ValueError(f"expected {self.size} values, got {values.shape[0]}")
+        return values.reshape(self.size, 1, *values.shape[1:])
+
+
+def slerp_directions(d0, d1, steps: int) -> np.ndarray:
+    """``steps`` unit directions along the great circle from d0 to d1
+    (endpoints included).  Antipodal inputs are rejected (the great
+    circle is ambiguous there)."""
+    d0 = np.asarray(d0, dtype=np.float64)
+    d1 = np.asarray(d1, dtype=np.float64)
+    if steps < 2:
+        raise ValueError("need at least 2 steps (the endpoints)")
+    c = float(np.clip(d0 @ d1, -1.0, 1.0))
+    omega = np.arccos(c)
+    t = np.linspace(0.0, 1.0, steps)
+    if omega < 1e-12:
+        return np.broadcast_to(d0, (steps, 3)).copy()
+    if np.pi - omega < 1e-9:
+        raise ValueError("antipodal directions have no unique great circle")
+    s = np.sin(omega)
+    out = (
+        (np.sin((1.0 - t) * omega) / s)[:, None] * d0
+        + (np.sin(t * omega) / s)[:, None] * d1
+    )
+    return out / np.linalg.norm(out, axis=1, keepdims=True)

@@ -1,0 +1,59 @@
+"""Spheres — the ICA abstraction's voxel stand-ins.
+
+The ICA method replaces each voxel by an inscribed sphere (guaranteed
+inside the voxel) and a circumscribed sphere (guaranteed to contain it);
+see Figure 8 of the paper.  Sphere geometry is rotation-invariant, which
+is exactly why the ICA test needs no per-orientation rotation step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import as_vec3
+
+__all__ = ["Sphere"]
+
+_SQRT3 = float(np.sqrt(3.0))
+
+
+@dataclass(frozen=True)
+class Sphere:
+    """Closed ball with ``center`` and ``radius``."""
+
+    center: np.ndarray
+    radius: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "center", as_vec3(self.center).astype(np.float64))
+        object.__setattr__(self, "radius", float(self.radius))
+        if self.center.shape != (3,):
+            raise ValueError("Sphere center must be a single 3-vector")
+        if self.radius < 0.0:
+            raise ValueError(f"negative radius {self.radius}")
+
+    @classmethod
+    def inscribed(cls, box: AABB) -> "Sphere":
+        """``sphere_1``: tangent to the 6 faces of the (cubic) voxel."""
+        return cls(box.center, box.inscribed_radius)
+
+    @classmethod
+    def circumscribed(cls, box: AABB) -> "Sphere":
+        """``sphere_2``: passes through the 8 corners of the voxel."""
+        return cls(box.center, box.circumscribed_radius)
+
+    def contains(self, points) -> np.ndarray:
+        """Broadcasted closed-ball membership test."""
+        p = np.asarray(points, dtype=np.float64) - self.center
+        return np.einsum("...i,...i->...", p, p) <= self.radius * self.radius + 0.0
+
+    def intersects_aabb(self, box: AABB) -> bool:
+        """Closed sphere-box overlap via clamped center distance."""
+        return bool(box.distance_to_point(self.center) <= self.radius)
+
+    def intersects_sphere(self, other: "Sphere") -> bool:
+        d = np.linalg.norm(self.center - other.center)
+        return bool(d <= self.radius + other.radius)

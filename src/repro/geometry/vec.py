@@ -1,0 +1,85 @@
+"""Small vector helpers over ``(..., 3)`` float arrays.
+
+All functions broadcast over leading dimensions and never copy unless a
+copy is required, following the NumPy-first discipline used throughout
+the library: the hot collision-detection paths operate on large batches
+of vectors at once, so every helper here accepts stacked inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "as_vec3",
+    "dot",
+    "norm",
+    "norm_sq",
+    "normalize",
+    "cross",
+    "lerp",
+    "clamp",
+]
+
+_EPS = 1e-12
+
+
+def as_vec3(v) -> np.ndarray:
+    """Coerce *v* to a float64 array with trailing dimension 3.
+
+    Accepts lists, tuples, and arrays.  Raises :class:`ValueError` when the
+    trailing dimension is not 3 — catching shape bugs at the API boundary
+    rather than deep inside a broadcasted kernel.
+    """
+    a = np.asarray(v, dtype=np.float64)
+    if a.shape == () or a.shape[-1] != 3:
+        raise ValueError(f"expected trailing dimension 3, got shape {a.shape}")
+    return a
+
+
+def dot(a, b) -> np.ndarray:
+    """Broadcasted dot product over the trailing axis."""
+    return np.einsum("...i,...i->...", np.asarray(a, np.float64), np.asarray(b, np.float64))
+
+
+def norm_sq(a) -> np.ndarray:
+    """Squared Euclidean norm over the trailing axis (cheaper than :func:`norm`)."""
+    a = np.asarray(a, dtype=np.float64)
+    return np.einsum("...i,...i->...", a, a)
+
+
+def norm(a) -> np.ndarray:
+    """Euclidean norm over the trailing axis."""
+    return np.sqrt(norm_sq(a))
+
+
+def normalize(a, *, eps: float = _EPS) -> np.ndarray:
+    """Return unit vectors; zero-length inputs raise :class:`ValueError`.
+
+    Unit directions feed rotation construction (:mod:`repro.geometry.frames`)
+    where a silent zero vector would corrupt every downstream test, so the
+    failure is loud.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    n = norm(a)
+    if np.any(n < eps):
+        raise ValueError("cannot normalize zero-length vector")
+    return a / n[..., None]
+
+
+def cross(a, b) -> np.ndarray:
+    """Broadcasted cross product."""
+    return np.cross(np.asarray(a, np.float64), np.asarray(b, np.float64))
+
+
+def lerp(a, b, t) -> np.ndarray:
+    """Linear interpolation ``a + t*(b - a)`` with broadcasting over ``t``."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    t = np.asarray(t, dtype=np.float64)
+    return a + t[..., None] * (b - a)
+
+
+def clamp(x, lo, hi) -> np.ndarray:
+    """Elementwise clamp (alias of :func:`numpy.clip` with a geometry-local name)."""
+    return np.clip(x, lo, hi)

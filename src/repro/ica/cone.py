@@ -1,0 +1,235 @@
+"""Exact inaccessible-cone-angle computation (GETTOOLICA).
+
+Geometry
+--------
+Work in the 2D (axial, radial) half-plane containing the tool axis and
+the sphere center.  The tool's generating profile is a union of
+rectangles ``[z0_c, z1_c] x [0, R_c]``; the sphere of radius ``r`` at
+distance ``d`` from the pivot touches the tool at orientation angle
+``theta`` (angle between tool axis and pivot-to-center vector) iff the
+point ``(d cos(theta), d sin(theta))`` lies within distance ``r`` of
+some rectangle — i.e. inside the rectangle expanded (Minkowski sum) by a
+disk of radius ``r``.  Each expanded rectangle is convex, so the arc of
+radius ``d`` meets it in a single sub-arc; restricted to ``theta in
+[0, pi]`` that is at most two intervals per cylinder, and the tool's
+*inaccessible set* is the union over cylinders.
+
+The paper defines a single ICA value ("the largest touching angle");
+that is only sound when the inaccessible set is the interval
+``[0, ica]``, which fails for voxels beyond the tool's reach or behind
+the pivot.  We therefore return two sound bounds:
+
+* ``ica_lo`` — the upper end of the inaccessible component containing
+  ``theta = 0`` (sentinel ``-1`` when ``theta = 0`` is itself
+  accessible), so ``theta <= ica_lo  =>  collision``;
+* ``ica_hi`` — the supremum of the whole inaccessible set (``0`` when it
+  is empty), so ``theta >= ica_hi  =>  no collision``.
+
+``CHECKICA`` uses ``ica_lo`` of the voxel's *inscribed* sphere and
+``ica_hi`` of its *circumscribed* sphere (Algorithm 1 / Figure 8).
+
+Implementation
+--------------
+Everything is computed in **cosine space**: candidate crossing angles
+between the arc and the five boundary components of each expanded
+rectangle (two cap lines, the top line, two corner circles) have
+closed-form cosines requiring only arithmetic and square roots — no
+trigonometric calls, which dominate the cost otherwise.  Cosine is
+strictly decreasing on ``[0, pi]``, so sorting cosines descending orders
+candidates by increasing angle, and the *mean* of two consecutive
+cosines is an interior sample of the segment between them (all that
+membership evaluation needs).  Spurious candidates (crossings with a
+component's extension outside its valid range) merely split a segment in
+two and are harmless.
+
+The cos-space results are exposed directly (:func:`ica_bounds_cos`) for
+hot paths that also keep their query angles as cosines; the angle-space
+API applies a single ``arccos`` per output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tool.tool import Tool
+
+__all__ = [
+    "ica_bounds_cos",
+    "ica_bounds_arrays",
+    "tool_ica_batch",
+    "tool_ica",
+    "inaccessible_intervals",
+    "ACCESSIBLE_SENTINEL",
+    "COS_NEVER",
+]
+
+#: ``ica_lo`` (angle space) meaning "no collision guaranteed at any angle".
+ACCESSIBLE_SENTINEL = -1.0
+
+#: ``cos_lo`` (cos space) sentinel with the same meaning: query cosines
+#: are <= 1, so ``cos_angle >= COS_NEVER`` never fires.
+COS_NEVER = 2.0
+
+
+def _member_cos(z0, z1, R, d, r, c) -> np.ndarray:
+    """Touching test at cosine samples ``c (B, S)``; tool ``(C,)``, ``d``/``r`` ``(B,)``.
+
+    ``z = d*c``, ``rho = d*sqrt(1 - c^2)`` (the ``theta in [0, pi]``
+    branch), then 2D distance to each rectangle vs ``r``.
+    """
+    cc = np.clip(c, -1.0, 1.0)
+    z = (d[:, None] * cc)[:, :, None]  # (B, S, 1)
+    rho = (d[:, None] * np.sqrt(1.0 - cc * cc))[:, :, None]
+    dz = np.maximum(z0 - z, 0.0) + np.maximum(z - z1, 0.0)  # (B, S, C)
+    drho = np.maximum(rho - R, 0.0)
+    rr = r[:, None, None]
+    return ((dz * dz + drho * drho) <= rr * rr).any(axis=-1)
+
+
+def _candidate_cos(z0, z1, R, d, r) -> np.ndarray:
+    """Cosines of all potential arc/boundary crossings, shape ``(B, 8C + 2)``.
+
+    Per cylinder: 2 cap-line crossings, 2 top-line crossings, 2 + 2
+    corner-circle crossings; plus the global endpoints ``cos 0 = 1`` and
+    ``cos pi = -1``.  Out-of-range values are clipped into ``[-1, 1]``,
+    yielding degenerate (harmless) candidates.  All closed form:
+
+    * cap line ``z = z1 + r``:  ``cos = (z1 + r) / d``;
+    * top line ``rho = R + r``: ``cos = +-sqrt(1 - ((R + r)/d)^2)``;
+    * corner circle at ``q = (zc, R)``: by the law of cosines the angle
+      ``delta`` between the corner direction and the crossing satisfies
+      ``cos delta = (d^2 + |q|^2 - r^2) / (2 d |q|)``, and
+      ``cos(alpha +- delta)`` expands with ``cos alpha = zc/|q|``,
+      ``sin alpha = R/|q|`` — arithmetic only.
+    """
+    B = d.shape[0]
+    d_ = np.maximum(d, 1e-300)[:, None]  # guard the d = 0 degenerate case
+    r_ = r[:, None]
+
+    cap_hi = np.clip((z1 + r_) / d_, -1.0, 1.0)  # (B, C)
+    cap_lo = np.clip((z0 - r_) / d_, -1.0, 1.0)
+    s_top = np.clip((R + r_) / d_, 0.0, 1.0)
+    c_top = np.sqrt(1.0 - s_top * s_top)
+
+    parts = [cap_hi, cap_lo, c_top, -c_top]
+    for cz in (z0, z1):
+        Dq = np.hypot(cz, R)[None, :]  # (1, C) pivot-to-corner distance
+        Dq_safe = np.maximum(Dq, 1e-300)
+        cos_a = cz / Dq_safe
+        sin_a = R / Dq_safe
+        cos_delta = np.clip(
+            (d_ * d_ + Dq_safe * Dq_safe - r_ * r_) / (2.0 * d_ * Dq_safe), -1.0, 1.0
+        )
+        sin_delta = np.sqrt(1.0 - cos_delta * cos_delta)
+        parts.append(np.clip(cos_a * cos_delta + sin_a * sin_delta, -1.0, 1.0))
+        parts.append(np.clip(cos_a * cos_delta - sin_a * sin_delta, -1.0, 1.0))
+
+    cand = np.concatenate(parts, axis=1)  # (B, 8C)
+    ends = np.broadcast_to(np.array([1.0, -1.0]), (B, 2))
+    return np.concatenate([cand, ends], axis=1)
+
+
+def ica_bounds_cos(
+    z0, z1, R, dist, sphere_r, *, chunk: int = 65536
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cos-space GETTOOLICA over batches.
+
+    Returns ``(cos_lo, cos_hi)`` with the guarantees (for query cosine
+    ``ca = cos(theta)``):
+
+    * ``ca >= cos_lo``  =>  collision (``cos_lo = COS_NEVER`` if theta=0
+      itself is accessible — never fires);
+    * ``ca <= cos_hi``  =>  no collision (``cos_hi = 1`` when nothing is
+      inaccessible).
+
+    Batches larger than ``chunk`` are processed in slices so the
+    ``(B, 8C+1, C)`` membership intermediates stay cache-sized instead of
+    ballooning to hundreds of MB on deep traversal frontiers.
+    """
+    z0 = np.atleast_1d(np.asarray(z0, dtype=np.float64))
+    z1 = np.atleast_1d(np.asarray(z1, dtype=np.float64))
+    R = np.atleast_1d(np.asarray(R, dtype=np.float64))
+    d, r = np.broadcast_arrays(
+        np.asarray(dist, dtype=np.float64), np.asarray(sphere_r, dtype=np.float64)
+    )
+    shape = d.shape
+    d = d.ravel()
+    r = r.ravel()
+    if np.any(r < 0.0):
+        raise ValueError("sphere radius must be non-negative")
+
+    if d.size > chunk:
+        lo = np.empty(d.size)
+        hi = np.empty(d.size)
+        for start in range(0, d.size, chunk):
+            sl = slice(start, min(start + chunk, d.size))
+            lo[sl], hi[sl] = ica_bounds_cos(z0, z1, R, d[sl], r[sl], chunk=chunk)
+        return lo.reshape(shape), hi.reshape(shape)
+
+    # Descending cosine == ascending angle.
+    cand = -np.sort(-_candidate_cos(z0, z1, R, d, r), axis=1)  # (B, K)
+    mids = 0.5 * (cand[:, :-1] + cand[:, 1:])  # interior cos samples
+    member = _member_cos(z0, z1, R, d, r, mids)  # (B, K-1)
+
+    # Supremum of the inaccessible set: the far (smaller-cos) edge of the
+    # last member segment; cos 0 = 1 when the set is empty.
+    cos_hi = np.min(np.where(member, cand[:, 1:], COS_NEVER), axis=1)
+    cos_hi = np.where(cos_hi == COS_NEVER, 1.0, cos_hi)
+
+    # End of the member run starting at theta = 0.
+    first_false = np.argmax(~member, axis=1)
+    all_true = member.all(axis=1)
+    row = np.arange(len(d))
+    cos_lo = np.where(all_true, -1.0, cand[row, first_false])
+    cos_lo = np.where(member[:, 0], cos_lo, COS_NEVER)
+
+    return cos_lo.reshape(shape), cos_hi.reshape(shape)
+
+
+def ica_bounds_arrays(z0, z1, R, dist, sphere_r) -> tuple[np.ndarray, np.ndarray]:
+    """Angle-space GETTOOLICA (see module docstring for the guarantees)."""
+    cos_lo, cos_hi = ica_bounds_cos(z0, z1, R, dist, sphere_r)
+    lo = np.where(
+        cos_lo >= COS_NEVER,
+        ACCESSIBLE_SENTINEL,
+        np.arccos(np.clip(cos_lo, -1.0, 1.0)),
+    )
+    hi = np.arccos(np.clip(cos_hi, -1.0, 1.0))
+    return lo, hi
+
+
+def tool_ica_batch(tool: Tool, dist, sphere_r) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized GETTOOLICA for a :class:`Tool`; returns ``(ica_lo, ica_hi)``
+    in radians, broadcasting ``dist`` and ``sphere_r``."""
+    return ica_bounds_arrays(tool.z0, tool.z1, tool.radius, dist, sphere_r)
+
+
+def tool_ica(tool: Tool, dist: float, sphere_r: float) -> tuple[float, float]:
+    """Scalar convenience wrapper around :func:`tool_ica_batch`."""
+    lo, hi = tool_ica_batch(tool, np.asarray([dist]), np.asarray([sphere_r]))
+    return float(lo[0]), float(hi[0])
+
+
+def inaccessible_intervals(tool: Tool, dist: float, sphere_r: float) -> list[tuple[float, float]]:
+    """The full inaccessible angle set as merged closed intervals.
+
+    Mostly a test/diagnostic helper: :func:`tool_ica_batch` only needs the
+    two bounds, but the intervals expose the complete structure (e.g. the
+    detached interval of a voxel reachable only by the tool's side).
+    """
+    d = np.asarray([float(dist)])
+    r = np.asarray([float(sphere_r)])
+    cand = -np.sort(-_candidate_cos(tool.z0, tool.z1, tool.radius, d, r), axis=1)
+    mids = 0.5 * (cand[:, :-1] + cand[:, 1:])
+    member = _member_cos(tool.z0, tool.z1, tool.radius, d, r, mids)[0]
+    edges = np.arccos(np.clip(cand[0], -1.0, 1.0))
+    out: list[tuple[float, float]] = []
+    for seg in range(len(member)):
+        if not member[seg]:
+            continue
+        a, b = float(edges[seg]), float(edges[seg + 1])
+        if out and a <= out[-1][1] + 1e-12:
+            out[-1] = (out[-1][0], b)
+        else:
+            out.append((a, b))
+    return out

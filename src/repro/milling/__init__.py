@@ -1,0 +1,25 @@
+"""The motivating application: voxel-based milling simulation.
+
+Figure 1 of the paper frames the CD problem inside a milling pipeline:
+start from a block of stock, repeatedly position the tool at path points
+in collision-free orientations, and remove material until the target
+part remains.  The CD library answers "which orientations are safe?";
+this package closes the loop with the two missing pieces:
+
+* :mod:`repro.milling.stock` — a dense voxel stock model with vectorized
+  material removal for a tool pose (the cutter's swept cells) and
+  gouge accounting against the target part;
+* :mod:`repro.milling.planner` — a greedy accessibility-driven roughing
+  pass: at each path point, pick an orientation from the accessibility
+  map (via :mod:`repro.cd`) and cut.
+
+This is intentionally the *simplest correct* closure of the loop — the
+paper's SculptPrint host does vastly more — but it exercises the public
+CD API exactly the way a CAM system does: many pivots, one octree,
+repeated accessibility queries, safety margins.
+"""
+
+from repro.milling.stock import VoxelStock
+from repro.milling.planner import GreedyRougher, RoughingReport
+
+__all__ = ["VoxelStock", "GreedyRougher", "RoughingReport"]

@@ -1,0 +1,106 @@
+"""Greedy accessibility-driven roughing (the Figure 1 loop, minimally).
+
+For each path point, in order:
+
+1. query the accessibility map of the *target part* at the pivot
+   (:func:`repro.cd.traversal.run_cd` with the configured method — the
+   map guarantees the whole tool, shank and holder included, misses the
+   final part);
+2. optionally erode the map by a safety margin
+   (:func:`repro.cd.ammaps.dilate_blocked`);
+3. pick the safest orientation (:func:`repro.cd.ammaps.best_orientation`)
+   and cut the *stock* with the tool's cutting cylinder there;
+4. skip the point if nothing is accessible (a real planner would re-seed
+   with a different approach path).
+
+The planner exists to exercise the CD library the way its host
+application does — per-pivot maps, margins, orientation choice — and to
+give the examples an end-to-end artifact (removed volume, zero gouges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cd.ammaps import best_orientation, dilate_blocked
+from repro.cd.scene import Scene
+from repro.cd.traversal import TraversalConfig, run_cd
+from repro.geometry.orientation import OrientationGrid, direction_from_angles
+from repro.milling.stock import VoxelStock
+from repro.tool.tool import Tool
+
+__all__ = ["RoughingReport", "GreedyRougher"]
+
+
+@dataclass
+class RoughingReport:
+    """Outcome of one roughing pass."""
+
+    points_total: int = 0
+    points_cut: int = 0
+    points_skipped: int = 0
+    cells_removed: int = 0
+    gouged_cells: int = 0
+    completion: float = 0.0
+    orientations: list = field(default_factory=list)  # (point_idx, phi, gamma)
+
+    def summary(self) -> str:
+        return (
+            f"cut {self.points_cut}/{self.points_total} points "
+            f"(skipped {self.points_skipped}), removed {self.cells_removed} cells, "
+            f"gouges {self.gouged_cells}, completion {100 * self.completion:.1f}%"
+        )
+
+
+class GreedyRougher:
+    """Greedy per-point roughing driven by accessibility maps."""
+
+    def __init__(
+        self,
+        tree,
+        tool: Tool,
+        grid: OrientationGrid,
+        method,
+        *,
+        safety_steps: int = 1,
+        config: TraversalConfig = TraversalConfig(),
+    ):
+        self.tree = tree
+        self.tool = tool
+        self.grid = grid
+        self.method = method
+        self.safety_steps = int(safety_steps)
+        self.config = config
+
+    def plan_point(self, pivot) -> tuple[float, float] | None:
+        """The chosen (phi, gamma) at one pivot, or None if inaccessible."""
+        result = run_cd(
+            Scene(self.tree, self.tool, pivot), self.grid, self.method, config=self.config
+        )
+        am = result.accessibility_map
+        if self.safety_steps:
+            am = dilate_blocked(am, self.safety_steps)
+        if not am.any():
+            return None
+        i, j = best_orientation(am)
+        return float(self.grid.phis()[i]), float(self.grid.gammas()[j])
+
+    def run(self, stock: VoxelStock, pivots: np.ndarray) -> RoughingReport:
+        """Execute the pass over ``pivots`` (in path order), mutating ``stock``."""
+        pivots = np.asarray(pivots, dtype=np.float64)
+        report = RoughingReport(points_total=len(pivots))
+        for k, pivot in enumerate(pivots):
+            choice = self.plan_point(pivot)
+            if choice is None:
+                report.points_skipped += 1
+                continue
+            phi, gamma = choice
+            d = direction_from_angles(phi, gamma)
+            report.cells_removed += stock.cut(self.tool, pivot, d)
+            report.points_cut += 1
+            report.orientations.append((k, phi, gamma))
+        report.gouged_cells = stock.gouged_cells
+        report.completion = stock.completion()
+        return report

@@ -1,0 +1,135 @@
+"""Dense voxel stock model with material removal and gouge accounting.
+
+The stock is the block being machined: a dense boolean grid over the
+same cubic domain as the target octree.  Cutting with the tool at a pose
+clears every stock voxel whose center lies inside the tool's *cutting
+portion* (by convention the first cylinder of the stack — the flutes;
+the shank and holder must never touch anything, which is exactly what
+the accessibility map guarantees when the pose comes from a CD query).
+
+Removal is vectorized: only the cells inside the cutting cylinder's
+world AABB are tested, so a cut costs O(local volume), not O(grid).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.cylinder import Cylinder
+from repro.tool.tool import Tool
+
+__all__ = ["VoxelStock"]
+
+
+class VoxelStock:
+    """A machinable dense voxel block.
+
+    ``grid`` is boolean ``(k, k, k)`` in (z, y, x) order — the same
+    layout as :func:`repro.solids.voxelize.voxelize_sdf` — where True
+    means material present.  ``target`` (optional, same shape) marks
+    cells that belong to the final part; removing one is a *gouge* and is
+    tallied rather than silently allowed, so planner bugs surface.
+    """
+
+    def __init__(self, domain: AABB, grid: np.ndarray, target: np.ndarray | None = None):
+        size = domain.size
+        if not np.allclose(size, size[0]):
+            raise ValueError("stock domain must be cubic")
+        grid = np.asarray(grid, dtype=bool)
+        if grid.ndim != 3 or len(set(grid.shape)) != 1:
+            raise ValueError("stock grid must be a cubic 3D boolean array")
+        self.domain = domain
+        self.grid = grid.copy()
+        self.resolution = grid.shape[0]
+        self.cell = float(size[0]) / self.resolution
+        if target is not None:
+            target = np.asarray(target, dtype=bool)
+            if target.shape != grid.shape:
+                raise ValueError("target must match the stock grid shape")
+        self.target = target
+        self.gouged_cells = 0
+        self.removed_cells = 0
+
+    @classmethod
+    def block_around(cls, domain: AABB, resolution: int, target: np.ndarray) -> "VoxelStock":
+        """A full rectangular block of stock enclosing a target part."""
+        grid = np.ones((resolution,) * 3, dtype=bool)
+        return cls(domain, grid, target=target)
+
+    # -- geometry helpers ---------------------------------------------------
+
+    def _cell_range(self, lo: np.ndarray, hi: np.ndarray) -> tuple[slice, slice, slice]:
+        """Grid slices (z, y, x) covering a world-space AABB, clamped."""
+        i0 = np.floor((lo - self.domain.lo) / self.cell).astype(int)
+        i1 = np.ceil((hi - self.domain.lo) / self.cell).astype(int)
+        i0 = np.clip(i0, 0, self.resolution)
+        i1 = np.clip(i1, 0, self.resolution)
+        return (slice(i0[2], i1[2]), slice(i0[1], i1[1]), slice(i0[0], i1[0]))
+
+    def _centers(self, sl: tuple[slice, slice, slice]) -> np.ndarray:
+        zs = self.domain.lo[2] + (np.arange(sl[0].start, sl[0].stop) + 0.5) * self.cell
+        ys = self.domain.lo[1] + (np.arange(sl[1].start, sl[1].stop) + 0.5) * self.cell
+        xs = self.domain.lo[0] + (np.arange(sl[2].start, sl[2].stop) + 0.5) * self.cell
+        Z, Y, X = np.meshgrid(zs, ys, xs, indexing="ij")
+        return np.stack([X, Y, Z], axis=-1)
+
+    # -- machining ------------------------------------------------------------
+
+    def cut(self, tool: Tool, pivot, direction) -> int:
+        """Remove material inside the tool's cutting cylinder at a pose.
+
+        Returns the number of cells removed.  Cells belonging to the
+        target are *not* removed; they are counted in ``gouged_cells``
+        (a correct planner keeps that count at zero by only cutting at
+        accessible orientations with an adequate margin).
+        """
+        pivot = np.asarray(pivot, dtype=np.float64)
+        cutter = Cylinder(
+            pivot,
+            direction,
+            float(tool.z0[0]),
+            float(tool.z1[0]),
+            float(tool.radius[0]),
+        )
+        box = cutter.aabb_world()
+        sl = self._cell_range(box.lo, box.hi)
+        if sl[0].start >= sl[0].stop or sl[1].start >= sl[1].stop or sl[2].start >= sl[2].stop:
+            return 0
+        centers = self._centers(sl)
+        inside = cutter.contains(centers)
+        region = self.grid[sl]
+        hit = inside & region
+        if self.target is not None:
+            gouge = hit & self.target[sl]
+            self.gouged_cells += int(gouge.sum())
+            hit &= ~self.target[sl]
+        removed = int(hit.sum())
+        region[hit] = False
+        self.grid[sl] = region
+        self.removed_cells += removed
+        return removed
+
+    # -- progress metrics -------------------------------------------------------
+
+    def remaining_cells(self) -> int:
+        return int(self.grid.sum())
+
+    def excess_cells(self) -> int:
+        """Stock cells still present that are not part of the target."""
+        if self.target is None:
+            return self.remaining_cells()
+        return int((self.grid & ~self.target).sum())
+
+    def completion(self) -> float:
+        """Fraction of removable (non-target) material already removed."""
+        if self.target is None:
+            total = self.grid.size
+        else:
+            total = int((~self.target).sum())
+        if total == 0:
+            return 1.0
+        return 1.0 - self.excess_cells() / total
+
+    def volume_mm3(self) -> float:
+        return self.remaining_cells() * self.cell**3

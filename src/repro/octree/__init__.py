@@ -1,0 +1,33 @@
+"""Adaptive volumetric octree over voxelized solids.
+
+The target object of the CD problem is stored as a high-resolution
+adaptive octree (Figure 3 of the paper): solid uniform regions collapse
+into coarse FULL nodes, empty space is simply absent, and the boundary
+is refined down to leaf voxels.  The octree is stored *linearly* — one
+sorted Morton-code array per level — which is the layout a GPU port
+would use and what the vectorized frontier traversal in
+:mod:`repro.cd.traversal` consumes.
+"""
+
+from repro.octree.morton import morton_encode, morton_decode
+from repro.octree.linear import (
+    LinearOctree,
+    OctreeLevel,
+    STATUS_MIXED,
+    STATUS_FULL,
+)
+from repro.octree.build import build_from_sdf, build_from_dense, expand_top
+from repro.octree.stats import octree_stats
+
+__all__ = [
+    "morton_encode",
+    "morton_decode",
+    "LinearOctree",
+    "OctreeLevel",
+    "STATUS_MIXED",
+    "STATUS_FULL",
+    "build_from_sdf",
+    "build_from_dense",
+    "expand_top",
+    "octree_stats",
+]

@@ -1,0 +1,250 @@
+"""Octree construction: top-down from implicit solids, bottom-up from grids.
+
+Both builders produce the *canonical* adaptive octree of the same dense
+center-sampled voxelization: FULL regions are merged as far up as
+possible and MIXED nodes always have at least one stored child.  The
+test suite checks the two construction paths produce *identical* level
+arrays, which pins down both the conservative-classification logic of
+the SDF path and the merge logic of the dense path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.octree.linear import LinearOctree, OctreeLevel, STATUS_FULL, STATUS_MIXED
+from repro.octree.morton import morton_decode, morton_encode
+from repro.solids.sdf import SDF
+
+__all__ = ["build_from_sdf", "build_from_dense", "depth_for_resolution", "expand_top"]
+
+_SQRT3 = float(np.sqrt(3.0))
+
+
+def depth_for_resolution(resolution: int) -> int:
+    """Octree depth whose leaf grid is ``resolution^3`` (must be a power of 2)."""
+    depth = int(resolution).bit_length() - 1
+    if (1 << depth) != resolution:
+        raise ValueError(f"resolution must be a power of two, got {resolution}")
+    return depth
+
+
+def _empty_level() -> OctreeLevel:
+    return OctreeLevel(
+        codes=np.zeros(0, dtype=np.uint64),
+        status=np.zeros(0, dtype=np.uint8),
+        child_start=np.zeros(0, dtype=np.intp),
+        child_count=np.zeros(0, dtype=np.int8),
+    )
+
+
+def _level(codes: np.ndarray, status: np.ndarray) -> OctreeLevel:
+    order = np.argsort(codes)
+    return OctreeLevel(
+        codes=codes[order].astype(np.uint64),
+        status=status[order].astype(np.uint8),
+        child_start=np.full(len(codes), -1, dtype=np.intp),
+        child_count=np.zeros(len(codes), dtype=np.int8),
+    )
+
+
+def build_from_sdf(sdf: SDF, domain: AABB, resolution: int, *, chunk: int = 262144) -> LinearOctree:
+    """Top-down adaptive construction from an implicit solid.
+
+    Level by level, a cell is classified with one implicit evaluation at
+    its center:
+
+    * ``clearance(center) > sqrt(3) * half`` — the solid's boundary cannot
+      cross the cell, so the sign of ``value(center)`` classifies it as
+      uniformly FULL or uniformly empty (dropped);
+    * otherwise, at leaf level the cell is a voxel classified by the sign
+      at its center (matching :func:`repro.solids.voxelize.voxelize_sdf`);
+    * otherwise the cell is provisionally MIXED and its children are
+      examined on the next level.
+
+    A final canonicalization pass merges 8-FULL sibling groups upward and
+    deletes provisionally-MIXED cells none of whose descendants turned
+    out solid.
+    """
+    depth = depth_for_resolution(resolution)
+    lo = np.asarray(domain.lo, dtype=np.float64)
+    edge = float(domain.size[0])
+
+    level_codes: list[np.ndarray] = []
+    level_status: list[np.ndarray] = []
+
+    frontier = np.zeros(1, dtype=np.uint64)  # the root cell of level 0
+    for l in range(depth + 1):
+        cell = edge / (1 << l)
+        half = 0.5 * cell
+        codes_out = []
+        status_out = []
+        next_frontier = []
+        for start in range(0, len(frontier), chunk):
+            codes = frontier[start : start + chunk]
+            i, j, k = morton_decode(codes)
+            centers = lo + (np.stack([i, j, k], axis=-1) + 0.5) * cell
+            clear = np.asarray(sdf.clearance(centers))
+            val = np.asarray(sdf.value(centers))
+            uniform = clear > _SQRT3 * half
+            solid = val <= 0.0
+
+            if l == depth:
+                codes_out.append(codes[solid])
+                status_out.append(np.full(int(solid.sum()), STATUS_FULL, dtype=np.uint8))
+            else:
+                full = uniform & solid
+                mixed = ~uniform
+                codes_out.append(codes[full])
+                status_out.append(np.full(int(full.sum()), STATUS_FULL, dtype=np.uint8))
+                codes_out.append(codes[mixed])
+                status_out.append(np.full(int(mixed.sum()), STATUS_MIXED, dtype=np.uint8))
+                next_frontier.append(codes[mixed])
+        level_codes.append(np.concatenate(codes_out) if codes_out else np.zeros(0, np.uint64))
+        level_status.append(
+            np.concatenate(status_out) if status_out else np.zeros(0, np.uint8)
+        )
+        if l < depth:
+            if next_frontier:
+                children = np.concatenate(next_frontier)
+                frontier = (
+                    (children[:, None] << np.uint64(3)) + np.arange(8, dtype=np.uint64)
+                ).ravel()
+            else:
+                frontier = np.zeros(0, dtype=np.uint64)
+
+    levels = [_level(c, s) for c, s in zip(level_codes, level_status)]
+    _canonicalize(levels, depth)
+    return LinearOctree(domain, depth, levels)
+
+
+def build_from_dense(grid: np.ndarray, domain: AABB) -> LinearOctree:
+    """Bottom-up adaptive construction from a dense ``(z, y, x)`` bool grid."""
+    grid = np.asarray(grid, dtype=bool)
+    if grid.ndim != 3 or len(set(grid.shape)) != 1:
+        raise ValueError("grid must be a cubic 3D boolean array")
+    depth = depth_for_resolution(grid.shape[0])
+
+    zz, yy, xx = np.nonzero(grid)
+    codes = morton_encode(xx.astype(np.uint64), yy.astype(np.uint64), zz.astype(np.uint64))
+    codes = np.sort(codes)
+    status = np.full(len(codes), STATUS_FULL, dtype=np.uint8)
+
+    levels: list[OctreeLevel | None] = [None] * (depth + 1)
+    levels[depth] = _level(codes, status)
+
+    for l in range(depth - 1, -1, -1):
+        child = levels[l + 1]
+        parents, inverse, counts = np.unique(
+            child.codes >> np.uint64(3), return_inverse=True, return_counts=True
+        )
+        full_children = np.bincount(
+            inverse, weights=(child.status == STATUS_FULL).astype(np.float64),
+            minlength=len(parents),
+        ).astype(np.int64)
+        parent_full = (counts == 8) & (full_children == 8)
+        p_status = np.where(parent_full, STATUS_FULL, STATUS_MIXED).astype(np.uint8)
+        # Children of merged-FULL parents are absorbed into the parent.
+        keep = ~parent_full[inverse]
+        levels[l + 1] = _level(child.codes[keep], child.status[keep])
+        levels[l] = _level(parents, p_status)
+
+    return LinearOctree(domain, depth, levels)  # type: ignore[arg-type]
+
+
+def expand_top(tree: LinearOctree, start_level: int = 5) -> LinearOctree:
+    """Materialize the paper's top-level expansion.
+
+    Section 5.1: "We directly expand the top 5 levels of octree into one
+    level" — the traversal then starts from a flat 32^3-cell base instead
+    of descending a tall, skinny top.  Concretely, every FULL node above
+    ``start_level`` is subdivided into its (all-FULL) descendant cells at
+    ``start_level``, and all surviving ancestors become MIXED.  The
+    represented solid is unchanged (the tests check leaf occupancy), but
+    the base level now stores every cell a traversal can start from —
+    which also lets the stage-1 ICA table cover them.
+
+    Returns a new tree; the input is not modified.
+    """
+    L0 = min(int(start_level), tree.depth)
+    if L0 <= 0:
+        return tree
+
+    # extra[t] collects descendant cells to add at level t: MIXED chain
+    # cells for t < L0, the FULL payload cells at t == L0.
+    extra: list[list[np.ndarray]] = [[] for _ in range(L0 + 1)]
+    for l in range(L0):
+        lev = tree.levels[l]
+        full = lev.status == STATUS_FULL
+        if not full.any():
+            continue
+        for target in range(l + 1, L0 + 1):
+            shift = np.uint64(3 * (target - l))
+            n_sub = 1 << (3 * (target - l))
+            base = lev.codes[full] << shift
+            extra[target].append(
+                (base[:, None] + np.arange(n_sub, dtype=np.uint64)).ravel()
+            )
+
+    new_levels: list[OctreeLevel] = []
+    for l in range(tree.depth + 1):
+        lev = tree.levels[l]
+        if l > L0:
+            new_levels.append(_level(lev.codes.copy(), lev.status.copy()))
+            continue
+        if l < L0:
+            # Surviving originals above the base are all interior now.
+            status = np.full(lev.n, STATUS_MIXED, dtype=np.uint8)
+            fill = STATUS_MIXED
+        else:
+            status = lev.status.copy()
+            fill = STATUS_FULL
+        codes = lev.codes
+        if extra[l]:
+            added = np.concatenate(extra[l])
+            codes = np.concatenate([codes, added])
+            status = np.concatenate(
+                [status, np.full(len(added), fill, dtype=np.uint8)]
+            )
+        new_levels.append(_level(codes.copy(), status))
+    return LinearOctree(tree.domain, tree.depth, new_levels)
+
+
+def _canonicalize(levels: list[OctreeLevel], depth: int) -> None:
+    """Merge 8-FULL sibling groups upward; drop childless MIXED nodes.
+
+    Operates bottom-up in place so both effects cascade: a parent whose
+    children all merge into FULL becomes a FULL candidate itself, and a
+    MIXED node whose children were all dropped disappears too.
+    """
+    for l in range(depth - 1, -1, -1):
+        parent = levels[l]
+        child = levels[l + 1]
+        if parent.n == 0:
+            continue
+        pc = parent.codes << np.uint64(3)
+        lo = np.searchsorted(child.codes, pc)
+        hi = np.searchsorted(child.codes, pc + np.uint64(8))
+        n_children = hi - lo
+        mixed = parent.status == STATUS_MIXED
+
+        # Count FULL children per parent via prefix sums over the child level.
+        full_prefix = np.concatenate(
+            [[0], np.cumsum(child.status == STATUS_FULL)]
+        )
+        n_full = full_prefix[hi] - full_prefix[lo]
+
+        promote = mixed & (n_children == 8) & (n_full == 8)
+        drop_parent = mixed & (n_children == 0)
+
+        if promote.any():
+            # Remove the absorbed children.
+            remove = np.zeros(child.n, dtype=bool)
+            for s, e in zip(lo[promote], hi[promote]):
+                remove[s:e] = True
+            levels[l + 1] = _level(child.codes[~remove], child.status[~remove])
+            parent.status[promote] = STATUS_FULL
+        if drop_parent.any():
+            keep = ~drop_parent
+            levels[l] = _level(parent.codes[keep], parent.status[keep])

@@ -1,0 +1,58 @@
+"""Octree serialization (single-file ``.npz``).
+
+Octree construction dominates pipeline setup time at high resolutions,
+and a CAM application builds the model once and answers many
+accessibility queries against it — so the tree must round-trip to disk.
+The format is a flat ``.npz``: domain bounds, depth, and per-level code
+and status arrays; forward-compatible via an explicit version tag.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.octree.linear import LinearOctree, OctreeLevel
+
+__all__ = ["save_octree", "load_octree", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_octree(tree: LinearOctree, path) -> None:
+    """Write ``tree`` to ``path`` as a compressed ``.npz``."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.asarray(FORMAT_VERSION),
+        "domain_lo": tree.domain.lo,
+        "domain_hi": tree.domain.hi,
+        "depth": np.asarray(tree.depth),
+    }
+    for l, lev in enumerate(tree.levels):
+        payload[f"codes_{l}"] = lev.codes
+        payload[f"status_{l}"] = lev.status
+    np.savez_compressed(path, **payload)
+
+
+def load_octree(path) -> LinearOctree:
+    """Load a tree written by :func:`save_octree` (child links are rebuilt)."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported octree format version {version} (expected {FORMAT_VERSION})"
+            )
+        domain = AABB(data["domain_lo"], data["domain_hi"])
+        depth = int(data["depth"])
+        levels = []
+        for l in range(depth + 1):
+            codes = data[f"codes_{l}"].astype(np.uint64)
+            status = data[f"status_{l}"].astype(np.uint8)
+            levels.append(
+                OctreeLevel(
+                    codes=codes,
+                    status=status,
+                    child_start=np.full(len(codes), -1, dtype=np.intp),
+                    child_count=np.zeros(len(codes), dtype=np.int8),
+                )
+            )
+    return LinearOctree(domain, depth, levels)

@@ -1,0 +1,205 @@
+"""Linear (level-array) adaptive octree.
+
+Storage model
+-------------
+The octree covers a cubic ``domain``; level ``l`` tiles it into
+``(2^l)^3`` cells.  Only *non-empty* cells are stored: a cell is
+
+* ``STATUS_FULL`` — entirely solid; a terminal node (no children stored;
+  a traversal hitting it at an intersecting orientation reports a
+  collision immediately, the early-out of Algorithm 2);
+* ``STATUS_MIXED`` — partially solid; its non-empty children are stored
+  on the next level.
+
+Empty cells are absent, which is how the adaptive octree prunes work:
+a traversal simply never generates them.
+
+Each level keeps its cells sorted by Morton code, so the children of a
+node with code ``c`` are the contiguous run of codes in ``[8c, 8c+8)``
+on the next level; ``child_start``/``child_count`` memoize that run.
+
+The total stored node count (root + interior + leaves) is the paper's
+``N`` (Table 1 "#voxels in octree").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.octree.morton import morton_decode
+
+__all__ = ["STATUS_MIXED", "STATUS_FULL", "OctreeLevel", "LinearOctree"]
+
+STATUS_MIXED = np.uint8(1)
+STATUS_FULL = np.uint8(2)
+
+
+@dataclass
+class OctreeLevel:
+    """One level of the linear octree (sorted by Morton code)."""
+
+    codes: np.ndarray  # (n,) uint64, strictly increasing
+    status: np.ndarray  # (n,) uint8 in {STATUS_MIXED, STATUS_FULL}
+    child_start: np.ndarray  # (n,) intp index into the next level (-1 if none)
+    child_count: np.ndarray  # (n,) int8 number of stored children (0..8)
+
+    def __post_init__(self) -> None:
+        n = len(self.codes)
+        if not (len(self.status) == len(self.child_start) == len(self.child_count) == n):
+            raise ValueError("level arrays must have equal length")
+        if n > 1 and not np.all(self.codes[1:] > self.codes[:-1]):
+            raise ValueError("level codes must be strictly increasing")
+
+    @property
+    def n(self) -> int:
+        return len(self.codes)
+
+
+class LinearOctree:
+    """Adaptive octree over a cubic domain at leaf depth ``depth``.
+
+    ``levels[l]`` holds the stored cells of level ``l`` for
+    ``l = 0 .. depth``; the effective leaf resolution is ``2^depth`` cells
+    per edge.
+    """
+
+    def __init__(self, domain: AABB, depth: int, levels: list[OctreeLevel]):
+        size = domain.size
+        if not np.allclose(size, size[0]):
+            raise ValueError("octree domain must be cubic")
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if len(levels) != depth + 1:
+            raise ValueError(f"expected {depth + 1} levels, got {len(levels)}")
+        self.domain = domain
+        self.depth = int(depth)
+        self.levels = levels
+        self._link_children()
+
+    # -- construction helpers -------------------------------------------
+
+    def _link_children(self) -> None:
+        """(Re)compute child_start/child_count from the sorted code arrays."""
+        for l in range(self.depth + 1):
+            lev = self.levels[l]
+            if l == self.depth or lev.n == 0:
+                lev.child_start = np.full(lev.n, -1, dtype=np.intp)
+                lev.child_count = np.zeros(lev.n, dtype=np.int8)
+                continue
+            nxt = self.levels[l + 1]
+            lo = np.searchsorted(nxt.codes, lev.codes << np.uint64(3))
+            hi = np.searchsorted(nxt.codes, (lev.codes << np.uint64(3)) + np.uint64(8))
+            lev.child_start = np.where(hi > lo, lo, -1).astype(np.intp)
+            lev.child_count = (hi - lo).astype(np.int8)
+            mixed_no_children = (lev.status == STATUS_MIXED) & (lev.child_count == 0)
+            if np.any(mixed_no_children):
+                raise ValueError(
+                    f"level {l}: {int(mixed_no_children.sum())} MIXED nodes have no children"
+                )
+
+    # -- geometry --------------------------------------------------------
+
+    @property
+    def resolution(self) -> int:
+        """Effective leaf resolution per edge (the paper's ``k`` in ``k^3``)."""
+        return 1 << self.depth
+
+    def cell_size(self, level: int) -> float:
+        """Edge length of a level-``level`` cell."""
+        return float(self.domain.size[0]) / (1 << level)
+
+    def cell_half(self, level: int) -> float:
+        return 0.5 * self.cell_size(level)
+
+    def centers(self, level: int, index=None) -> np.ndarray:
+        """World centers of stored cells at ``level`` (optionally a subset)."""
+        codes = self.levels[level].codes if index is None else self.levels[level].codes[index]
+        return self.centers_of_codes(level, codes)
+
+    def centers_of_codes(self, level: int, codes: np.ndarray) -> np.ndarray:
+        """World centers of arbitrary level-``level`` cell codes."""
+        i, j, k = morton_decode(codes)
+        cs = self.cell_size(level)
+        ijk = np.stack([i, j, k], axis=-1).astype(np.float64)
+        return self.domain.lo + (ijk + 0.5) * cs
+
+    def cell_box(self, level: int, index: int) -> AABB:
+        """The AABB of one stored cell (scalar convenience for tests)."""
+        center = self.centers(level, np.asarray([index]))[0]
+        return AABB.cube(center, self.cell_half(level))
+
+    # -- statistics -------------------------------------------------------
+
+    @property
+    def total_nodes(self) -> int:
+        """Stored node count — the paper's ``N`` (root + interior + leaves)."""
+        return int(sum(lev.n for lev in self.levels))
+
+    def level_counts(self) -> list[int]:
+        return [lev.n for lev in self.levels]
+
+    def count_status(self, status: np.uint8) -> int:
+        return int(sum(int((lev.status == status).sum()) for lev in self.levels))
+
+    def solid_volume(self) -> float:
+        """Exact solid volume represented by the octree (sum of FULL cells)."""
+        vol = 0.0
+        for l, lev in enumerate(self.levels):
+            n_full = int((lev.status == STATUS_FULL).sum())
+            vol += n_full * self.cell_size(l) ** 3
+        return vol
+
+    # -- queries -----------------------------------------------------------
+
+    def leaf_occupancy(self) -> np.ndarray:
+        """Materialize the dense ``(k, k, k)`` boolean grid (z, y, x order).
+
+        Expands coarse FULL nodes to their leaf footprint.  Intended for
+        tests and small trees — memory is ``k^3`` bytes.
+        """
+        k = self.resolution
+        grid = np.zeros((k, k, k), dtype=bool)
+        for l, lev in enumerate(self.levels):
+            full = lev.status == STATUS_FULL
+            if not full.any():
+                continue
+            i, j, kk = morton_decode(lev.codes[full])
+            scale = 1 << (self.depth - l)
+            for ii, jj, zz in zip(i * scale, j * scale, kk * scale):
+                grid[zz : zz + scale, jj : jj + scale, ii : ii + scale] = True
+        return grid
+
+    def contains_points(self, points) -> np.ndarray:
+        """Vectorized solid membership of world points (leaf-resolution).
+
+        Points outside the domain are reported as empty.  Membership is
+        evaluated by descending the stored tree level by level.
+        """
+        p = np.asarray(points, dtype=np.float64)
+        flat = p.reshape(-1, 3)
+        out = np.zeros(len(flat), dtype=bool)
+        inside = np.all((flat >= self.domain.lo) & (flat <= self.domain.hi), axis=-1)
+        idx = np.nonzero(inside)[0]
+        for l in range(self.depth + 1):
+            if idx.size == 0:
+                break
+            lev = self.levels[l]
+            if lev.n == 0:
+                break
+            cs = self.cell_size(l)
+            ijk = np.clip(
+                ((flat[idx] - self.domain.lo) / cs).astype(np.int64), 0, (1 << l) - 1
+            )
+            from repro.octree.morton import morton_encode
+
+            codes = morton_encode(ijk[:, 0], ijk[:, 1], ijk[:, 2])
+            pos = np.searchsorted(lev.codes, codes)
+            found = (pos < lev.n) & (lev.codes[np.minimum(pos, lev.n - 1)] == codes)
+            st = np.zeros(len(idx), dtype=np.uint8)
+            st[found] = lev.status[np.minimum(pos, lev.n - 1)[found]]
+            out[idx[st == STATUS_FULL]] = True
+            idx = idx[st == STATUS_MIXED]
+        return out.reshape(p.shape[:-1])

@@ -1,0 +1,14 @@
+"""Pivot-point path generation around the target model.
+
+The paper evaluates accessibility maps at pivot points sampled from "a
+path surrounding the CAD models, with each point on the path having a
+1 mm distance from the surface of the model" (Section 5.1) — the tool
+tip rides a 1 mm offset surface.  :mod:`repro.path.offset` builds such a
+path from the model's implicit surface; :mod:`repro.path.sampling` draws
+the random pivot subsets the experiments average over.
+"""
+
+from repro.path.offset import offset_path, offset_point
+from repro.path.sampling import sample_pivots
+
+__all__ = ["offset_path", "offset_point", "sample_pivots"]

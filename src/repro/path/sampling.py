@@ -1,0 +1,26 @@
+"""Pivot sampling from a path (the paper's 2000-random-points protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_pivots"]
+
+
+def sample_pivots(path: np.ndarray, n: int, *, seed: int = 0) -> np.ndarray:
+    """Draw ``n`` pivots from a path, uniformly without replacement.
+
+    Matches Section 5.1's protocol ("2000 random points are chosen from
+    the path as the pivot points"), scaled down: every experiment result
+    in the harness is the average over its pivot sample.  Falls back to
+    sampling with replacement when the path is shorter than ``n``.
+    """
+    path = np.asarray(path, dtype=np.float64)
+    if path.ndim != 2 or path.shape[1] != 3:
+        raise ValueError("path must be (n, 3)")
+    if len(path) == 0:
+        raise ValueError("empty path")
+    rng = np.random.default_rng(seed)
+    replace = n > len(path)
+    idx = rng.choice(len(path), size=n, replace=replace)
+    return path[idx]

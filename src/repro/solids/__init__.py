@@ -1,0 +1,68 @@
+"""Implicit solids, benchmark models, meshing, and voxelization.
+
+The paper evaluates on four proprietary CAD meshes (Head, Candle
+Holder, Turbine, Teapot).  We substitute procedural implicit-surface
+analogues with the same bounding dimensions (see DESIGN.md §2): the CD
+algorithms only ever see the voxel octree, so what matters is occupancy
+structure, which these models emulate (concavities, thin features,
+through-holes).
+
+* :mod:`repro.solids.sdf` — signed-distance primitives and CSG with
+  *conservative clearance* bounds (what octree construction needs).
+* :mod:`repro.solids.models` — the four benchmark analogues.
+* :mod:`repro.solids.mesh` — surface-net triangle mesh extraction, so the
+  mesh-input path of a CAM pipeline is exercised too.
+* :mod:`repro.solids.voxelize` — dense voxelization from SDFs and from
+  triangle meshes (parity ray casting).
+"""
+
+from repro.solids.sdf import (
+    SDF,
+    SphereSDF,
+    BoxSDF,
+    CylinderSDF,
+    CapsuleSDF,
+    TorusSDF,
+    EllipsoidSDF,
+    RevolvedPolygonSDF,
+    Union,
+    Intersection,
+    Difference,
+    Translate,
+    Rotate,
+    Scale,
+)
+from repro.solids.models import (
+    BenchmarkModel,
+    head_model,
+    candle_holder_model,
+    turbine_model,
+    teapot_model,
+    benchmark_models,
+)
+from repro.solids.voxelize import voxelize_sdf, voxelize_mesh
+
+__all__ = [
+    "SDF",
+    "SphereSDF",
+    "BoxSDF",
+    "CylinderSDF",
+    "CapsuleSDF",
+    "TorusSDF",
+    "EllipsoidSDF",
+    "RevolvedPolygonSDF",
+    "Union",
+    "Intersection",
+    "Difference",
+    "Translate",
+    "Rotate",
+    "Scale",
+    "BenchmarkModel",
+    "head_model",
+    "candle_holder_model",
+    "turbine_model",
+    "teapot_model",
+    "benchmark_models",
+    "voxelize_sdf",
+    "voxelize_mesh",
+]

@@ -1,0 +1,90 @@
+"""Triangle-mesh file I/O (OBJ and ASCII STL).
+
+CAM pipelines exchange geometry as mesh files; SculptPrint ingests STL.
+These are deliberately dependency-free, minimal, and lossless for the
+`(vertices, faces)` arrays produced by :mod:`repro.solids.mesh`, so the
+examples can export what they build and the mesh voxelizer can be fed
+from disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["save_obj", "load_obj", "save_stl", "mesh_bounds"]
+
+
+def _validate(vertices: np.ndarray, faces: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    vertices = np.asarray(vertices, dtype=np.float64)
+    faces = np.asarray(faces, dtype=np.intp)
+    if vertices.ndim != 2 or vertices.shape[1] != 3:
+        raise ValueError("vertices must be (n, 3)")
+    if faces.ndim != 2 or faces.shape[1] != 3:
+        raise ValueError("faces must be (m, 3)")
+    if len(faces) and (faces.min() < 0 or faces.max() >= len(vertices)):
+        raise ValueError("face indices out of range")
+    return vertices, faces
+
+
+def save_obj(path, vertices: np.ndarray, faces: np.ndarray) -> None:
+    """Write a Wavefront OBJ file (1-based face indices, full precision)."""
+    vertices, faces = _validate(vertices, faces)
+    with open(path, "w") as f:
+        f.write("# exported by repro (AICA reproduction)\n")
+        for v in vertices:
+            f.write(f"v {v[0]:.17g} {v[1]:.17g} {v[2]:.17g}\n")
+        for tri in faces:
+            f.write(f"f {tri[0] + 1} {tri[1] + 1} {tri[2] + 1}\n")
+
+
+def load_obj(path) -> tuple[np.ndarray, np.ndarray]:
+    """Read the triangle subset of OBJ: ``v`` and triangular ``f`` records.
+
+    Face entries may carry texture/normal slots (``f 1/2/3 ...``); only
+    the vertex index is used.  Non-triangle faces are fan-triangulated.
+    """
+    verts: list[list[float]] = []
+    faces: list[list[int]] = []
+    with open(path) as f:
+        for line in f:
+            parts = line.split()
+            if not parts:
+                continue
+            if parts[0] == "v":
+                verts.append([float(x) for x in parts[1:4]])
+            elif parts[0] == "f":
+                idx = [int(p.split("/")[0]) - 1 for p in parts[1:]]
+                for k in range(1, len(idx) - 1):
+                    faces.append([idx[0], idx[k], idx[k + 1]])
+    return (
+        np.asarray(verts, dtype=np.float64).reshape(-1, 3),
+        np.asarray(faces, dtype=np.intp).reshape(-1, 3),
+    )
+
+
+def save_stl(path, vertices: np.ndarray, faces: np.ndarray, *, name: str = "repro") -> None:
+    """Write an ASCII STL file (facet normals recomputed from geometry)."""
+    vertices, faces = _validate(vertices, faces)
+    tri = vertices[faces] if len(faces) else np.zeros((0, 3, 3))
+    n = np.cross(tri[:, 1] - tri[:, 0], tri[:, 2] - tri[:, 0]) if len(faces) else tri[:, 0]
+    lens = np.linalg.norm(n, axis=1, keepdims=True) if len(faces) else None
+    if len(faces):
+        n = np.where(lens > 0, n / np.maximum(lens, 1e-300), 0.0)
+    with open(path, "w") as f:
+        f.write(f"solid {name}\n")
+        for i in range(len(faces)):
+            f.write(f"  facet normal {n[i, 0]:.9g} {n[i, 1]:.9g} {n[i, 2]:.9g}\n")
+            f.write("    outer loop\n")
+            for v in tri[i]:
+                f.write(f"      vertex {v[0]:.9g} {v[1]:.9g} {v[2]:.9g}\n")
+            f.write("    endloop\n")
+            f.write("  endfacet\n")
+        f.write(f"endsolid {name}\n")
+
+
+def mesh_bounds(vertices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(lo, hi) corner coordinates of a vertex array."""
+    vertices = np.asarray(vertices, dtype=np.float64)
+    if vertices.size == 0:
+        return np.zeros(3), np.zeros(3)
+    return vertices.min(axis=0), vertices.max(axis=0)

@@ -1,0 +1,252 @@
+"""The four CAD benchmark analogues (Table 1 of the paper).
+
+The paper's meshes (Head, Candle Holder, Turbine, Teapot) ship with
+SculptPrint and are not public.  Each analogue here is a procedural
+implicit solid with the *same bounding dimensions* (Table 1) and the
+same qualitative occupancy structure: the head is a convex-ish bust with
+facial concavities, the candle holder is a lathed part with a hollow
+cup, the turbine is a hub with thin twisted blades (the hardest case for
+pruning), and the teapot has a through-hole handle and protruding spout.
+
+Each model also records the paper's published statistics so the Table 1
+bench can print paper-vs-measured rows side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.solids.sdf import (
+    SDF,
+    BoxSDF,
+    CapsuleSDF,
+    CylinderSDF,
+    Difference,
+    EllipsoidSDF,
+    Rotate,
+    SphereSDF,
+    TorusSDF,
+    RevolvedPolygonSDF,
+    Union,
+    union_all,
+)
+
+__all__ = [
+    "BenchmarkModel",
+    "head_model",
+    "candle_holder_model",
+    "turbine_model",
+    "teapot_model",
+    "benchmark_models",
+    "PAPER_RESOLUTIONS",
+]
+
+#: The object resolutions the paper sweeps (effective grid edge k for k^3).
+PAPER_RESOLUTIONS: tuple[int, ...] = (256, 512, 1024, 2048)
+
+
+@dataclass(frozen=True)
+class BenchmarkModel:
+    """A benchmark solid plus its octree domain and the paper's statistics.
+
+    ``domain`` is the cubic octree root cell: a cube enclosing the model
+    with some margin, so effective resolution ``k`` gives cells of edge
+    ``domain_edge / k``.
+    """
+
+    name: str
+    sdf: SDF
+    dims: tuple[float, float, float]
+    domain: AABB
+    paper: dict = field(default_factory=dict, compare=False)
+
+    @property
+    def domain_edge(self) -> float:
+        return float(self.domain.size[0])
+
+    def cell_size(self, resolution: int) -> float:
+        """Edge length of a leaf voxel at effective resolution ``resolution^3``."""
+        return self.domain_edge / resolution
+
+
+def _cubic_domain(dims, margin: float = 1.15) -> AABB:
+    """Cube centered at the origin enclosing a model of extents ``dims``."""
+    edge = max(dims) * margin
+    half = np.full(3, edge / 2.0)
+    return AABB(-half, half)
+
+
+def _rot_x(deg: float) -> np.ndarray:
+    a = np.deg2rad(deg)
+    c, s = np.cos(a), np.sin(a)
+    return np.array([[1, 0, 0], [0, c, -s], [0, s, c]], dtype=np.float64)
+
+
+def _rot_z(deg: float) -> np.ndarray:
+    a = np.deg2rad(deg)
+    c, s = np.cos(a), np.sin(a)
+    return np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]], dtype=np.float64)
+
+
+def head_model() -> BenchmarkModel:
+    """Bust analogue: skull + jaw + neck, with eye-socket and mouth concavities.
+
+    Dimensions 48.6 x 46.0 x 64.4 mm (Table 1).  The face looks toward -y.
+    """
+    skull = EllipsoidSDF((0.0, 0.5, 11.0), (21.5, 22.0, 21.0))
+    jaw = EllipsoidSDF((0.0, -4.0, -6.0), (14.0, 15.0, 13.0))
+    neck = CylinderSDF((0.0, 2.0), -32.2, -10.0, 10.0)
+    nose = CapsuleSDF((0.0, -18.5, 4.0), (0.0, -20.0, -1.0), 3.0)
+    ear_l = EllipsoidSDF((-22.0, 2.0, 6.0), (2.3, 5.0, 7.0))
+    ear_r = EllipsoidSDF((22.0, 2.0, 6.0), (2.3, 5.0, 7.0))
+    base = CylinderSDF((0.0, 0.0), -32.2, -27.0, 16.0)
+
+    eye_l = SphereSDF((-8.0, -19.5, 12.0), 4.0)
+    eye_r = SphereSDF((8.0, -19.5, 12.0), 4.0)
+    mouth = CapsuleSDF((-6.0, -20.0, -8.0), (6.0, -20.0, -8.0), 2.2)
+
+    solid = union_all([skull, jaw, neck, nose, ear_l, ear_r, base])
+    solid = Difference(solid, union_all([eye_l, eye_r, mouth]))
+
+    dims = (48.6, 46.0, 64.4)
+    return BenchmarkModel(
+        name="head",
+        sdf=solid,
+        dims=dims,
+        domain=_cubic_domain(dims),
+        paper={
+            "triangles": 23028,
+            "bounding_volume": 51331,
+            "layers": {256: 6, 512: 7, 1024: 8, 2048: 9},
+            "voxels_m": {256: 0.44, 512: 1.06, 1024: 4.26, 2048: 17.56},
+            "path_points_k": {256: 61.14, 512: 101.3, 1024: 203.7, 2048: 409.3},
+        },
+    )
+
+
+def candle_holder_model() -> BenchmarkModel:
+    """Lathed candle holder: base plate, slender stem with bulges, hollow cup.
+
+    Dimensions 48.4 x 48.9 x 57.7 mm.  Built as a solid of revolution (the
+    shape class lathe-turned CAM parts come from), minus an inner cylinder
+    for the cup cavity — a deep concavity that limits accessibility from
+    above, like the real benchmark.
+    """
+    half_h = 57.7 / 2.0
+    # Outer profile polygon in (rho, z), counterclockwise.
+    profile = np.array(
+        [
+            (0.0, -half_h),
+            (23.5, -half_h),
+            (23.5, -half_h + 4.0),
+            (9.0, -half_h + 7.0),
+            (5.5, -12.0),
+            (8.5, -8.0),
+            (5.5, -4.0),
+            (5.5, 6.0),
+            (16.0, 10.0),
+            (12.0, 13.0),
+            (13.5, half_h),
+            (0.0, half_h),
+        ],
+        dtype=np.float64,
+    )
+    outer = RevolvedPolygonSDF((0.0, 0.0, 0.0), profile)
+    cavity = CylinderSDF((0.0, 0.0), 16.0, half_h + 2.0, 10.0)
+    stem_bead = TorusSDF((0.0, 0.0, -8.0), 8.0, 2.5)
+    solid = Difference(Union(outer, stem_bead), cavity)
+
+    dims = (48.4, 48.9, 57.7)
+    return BenchmarkModel(
+        name="candle_holder",
+        sdf=solid,
+        dims=dims,
+        domain=_cubic_domain(dims),
+        paper={
+            "triangles": 38000,
+            "bounding_volume": 21275,
+            "layers": {256: 7, 512: 7, 1024: 8, 2048: 9},
+            "voxels_m": {256: 0.57, 512: 1.59, 1024: 5.92, 2048: 26.94},
+            "path_points_k": {256: 58.32, 512: 97.32, 1024: 196.9, 2048: 360.6},
+        },
+    )
+
+
+def turbine_model(n_blades: int = 9) -> BenchmarkModel:
+    """Bladed disk: hub + shaft + thin twisted blades + center bore.
+
+    Dimensions 48.9 x 48.9 x 31.1 mm.  The blades are the pruning stress
+    test: thin, oblique features spread over a large bounding volume (note
+    the real turbine has the *smallest* solid volume of the four models
+    despite mid-pack voxel counts — lots of surface, little interior).
+    """
+    half_h = 31.1 / 2.0
+    hub = CylinderSDF((0.0, 0.0), -5.0, 5.0, 9.0)
+    shaft = CylinderSDF((0.0, 0.0), -half_h, half_h, 4.0)
+
+    blades = []
+    for k in range(n_blades):
+        blade = BoxSDF((15.0, 0.0, 0.0), (9.2, 1.1, 11.0))
+        blade = Rotate(blade, _rot_x(28.0))  # pitch twist about the radial axis
+        blade = Rotate(blade, _rot_z(360.0 * k / n_blades))
+        blades.append(blade)
+
+    bore = CylinderSDF((0.0, 0.0), -half_h - 1.0, half_h + 1.0, 2.2)
+    solid = Difference(union_all([hub, shaft, *blades]), bore)
+
+    dims = (48.9, 48.9, 31.1)
+    return BenchmarkModel(
+        name="turbine",
+        sdf=solid,
+        dims=dims,
+        domain=_cubic_domain(dims),
+        paper={
+            "triangles": 57792,
+            "bounding_volume": 7823,
+            "layers": {256: 6, 512: 7, 1024: 8, 2048: 9},
+            "voxels_m": {256: 0.62, 512: 1.37, 1024: 6.44, 2048: 26.06},
+            "path_points_k": {256: 29.43, 512: 41.46, 1024: 83.48, 2048: 168.2},
+        },
+    )
+
+
+def teapot_model() -> BenchmarkModel:
+    """Teapot analogue: lathed body, through-hole handle (torus), spout, knob.
+
+    Dimensions 46 x 46 x 31 mm.  The handle's through hole and the spout
+    overhang create orientation-dependent inaccessibility, the signature
+    of the original Utah-teapot benchmark in 5-axis machining papers.
+    """
+    body = EllipsoidSDF((0.0, 0.0, -1.5), (15.0, 20.5, 11.5))
+    foot = CylinderSDF((0.0, 0.0), -15.5, -11.5, 9.0)
+    lid = EllipsoidSDF((0.0, 0.0, 9.5), (8.5, 10.0, 3.5))
+    knob = SphereSDF((0.0, 0.0, 13.0), 2.4)
+    spout = CapsuleSDF((12.0, 0.0, -4.0), (20.4, 0.0, 5.0), 2.6)
+    handle = Rotate(
+        TorusSDF((0.0, 0.0, 0.0), 6.5, 1.8), _rot_x(90.0)
+    ).translated((-14.7, 0.0, 1.0))
+
+    solid = union_all([body, foot, lid, knob, spout, handle])
+
+    dims = (46.0, 46.0, 31.0)
+    return BenchmarkModel(
+        name="teapot",
+        sdf=solid,
+        dims=dims,
+        domain=_cubic_domain(dims),
+        paper={
+            "triangles": 57600,
+            "bounding_volume": 25619,
+            "layers": {256: 6, 512: 7, 1024: 8, 2048: 9},
+            "voxels_m": {256: 0.74, 512: 1.53, 1024: 6.14, 2048: 23.89},
+            "path_points_k": {256: 30.60, 512: 44.57, 1024: 89.37, 2048: 179.1},
+        },
+    )
+
+
+def benchmark_models() -> list[BenchmarkModel]:
+    """All four benchmarks, in the paper's Table 1 order."""
+    return [head_model(), candle_holder_model(), turbine_model(), teapot_model()]

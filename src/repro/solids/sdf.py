@@ -1,0 +1,381 @@
+"""Signed-distance functions with conservative clearance bounds.
+
+Octree construction (:mod:`repro.octree.build`) classifies a cubic cell
+as uniformly full/empty when it can prove the solid's boundary does not
+cross the cell.  That proof needs two things from a solid:
+
+* ``value(points)`` — a *sign-exact* implicit function: negative strictly
+  inside the solid, positive strictly outside.  The magnitude need not be
+  a distance.
+* ``clearance(points)`` — a *lower bound* on the Euclidean distance from
+  each point to the solid's **boundary**.  If ``clearance(c) > half
+  diagonal`` of a cell centered at ``c``, the whole cell is on one side
+  of the boundary and ``sign(value(c))`` classifies it.
+
+For exact-distance primitives ``clearance == |value|``.  For CSG
+combinators, the boundary of the result is a subset of the union of the
+children's boundaries, so the minimum of the children's clearances is a
+valid bound regardless of how the signs combine — this is what makes the
+whole CSG tree safe for conservative cell classification even though
+``min``/``max`` of SDFs is not an exact distance.
+
+Everything is vectorized over ``(..., 3)`` point arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.vec import as_vec3
+
+__all__ = [
+    "SDF",
+    "SphereSDF",
+    "BoxSDF",
+    "CylinderSDF",
+    "CapsuleSDF",
+    "TorusSDF",
+    "EllipsoidSDF",
+    "RevolvedPolygonSDF",
+    "HalfSpaceSDF",
+    "Union",
+    "Intersection",
+    "Difference",
+    "Translate",
+    "Rotate",
+    "Scale",
+    "union_all",
+]
+
+
+class SDF:
+    """Base class for implicit solids (see module docstring for the contract)."""
+
+    def value(self, points) -> np.ndarray:
+        """Sign-exact implicit value: ``< 0`` inside, ``> 0`` outside."""
+        raise NotImplementedError
+
+    def clearance(self, points) -> np.ndarray:
+        """Lower bound on distance to the solid's boundary.
+
+        Default assumes :meth:`value` is an exact (or under-estimating)
+        distance; primitives for which that does not hold must override.
+        """
+        return np.abs(self.value(points))
+
+    def contains(self, points) -> np.ndarray:
+        """Boolean inside test (boundary counts as inside)."""
+        return self.value(points) <= 0.0
+
+    # -- CSG sugar -----------------------------------------------------
+    def __or__(self, other: "SDF") -> "SDF":
+        return Union(self, other)
+
+    def __and__(self, other: "SDF") -> "SDF":
+        return Intersection(self, other)
+
+    def __sub__(self, other: "SDF") -> "SDF":
+        return Difference(self, other)
+
+    def translated(self, offset) -> "SDF":
+        return Translate(self, offset)
+
+    def rotated(self, matrix) -> "SDF":
+        return Rotate(self, matrix)
+
+    def scaled(self, factor: float) -> "SDF":
+        return Scale(self, factor)
+
+
+def _pts(points) -> np.ndarray:
+    return np.asarray(points, dtype=np.float64)
+
+
+# ---------------------------------------------------------------------------
+# Primitives (exact distances unless noted)
+# ---------------------------------------------------------------------------
+
+
+class SphereSDF(SDF):
+    """Ball of ``radius`` at ``center`` (exact distance)."""
+
+    def __init__(self, center, radius: float):
+        self.center = as_vec3(center)
+        self.radius = float(radius)
+        if self.radius <= 0:
+            raise ValueError("sphere radius must be positive")
+
+    def value(self, points):
+        p = _pts(points) - self.center
+        return np.sqrt(np.einsum("...i,...i->...", p, p)) - self.radius
+
+
+class BoxSDF(SDF):
+    """Axis-aligned box from center and half extents (exact distance)."""
+
+    def __init__(self, center, half):
+        self.center = as_vec3(center)
+        self.half = np.broadcast_to(np.asarray(half, np.float64), (3,)).copy()
+        if np.any(self.half <= 0):
+            raise ValueError("box half extents must be positive")
+
+    def value(self, points):
+        q = np.abs(_pts(points) - self.center) - self.half
+        outside = np.sqrt(np.einsum("...i,...i->...", np.maximum(q, 0.0), np.maximum(q, 0.0)))
+        inside = np.minimum(np.max(q, axis=-1), 0.0)
+        return outside + inside
+
+
+class CylinderSDF(SDF):
+    """Solid cylinder along +z: ``z in [z0, z1]``, radius ``r`` (exact)."""
+
+    def __init__(self, center_xy, z0: float, z1: float, radius: float):
+        cx, cy = center_xy
+        self.cx, self.cy = float(cx), float(cy)
+        self.z0, self.z1 = float(z0), float(z1)
+        self.radius = float(radius)
+        if self.z1 <= self.z0 or self.radius <= 0:
+            raise ValueError("degenerate cylinder")
+
+    def value(self, points):
+        p = _pts(points)
+        rho = np.hypot(p[..., 0] - self.cx, p[..., 1] - self.cy)
+        # 2D box distance in the (rho, z) half-plane.
+        dr = rho - self.radius
+        mid = 0.5 * (self.z0 + self.z1)
+        dz = np.abs(p[..., 2] - mid) - 0.5 * (self.z1 - self.z0)
+        outside = np.hypot(np.maximum(dr, 0.0), np.maximum(dz, 0.0))
+        inside = np.minimum(np.maximum(dr, dz), 0.0)
+        return outside + inside
+
+
+class CapsuleSDF(SDF):
+    """Capsule (sphere-swept segment) between points ``a`` and ``b`` (exact)."""
+
+    def __init__(self, a, b, radius: float):
+        self.a = as_vec3(a)
+        self.b = as_vec3(b)
+        self.radius = float(radius)
+        if self.radius <= 0:
+            raise ValueError("capsule radius must be positive")
+
+    def value(self, points):
+        p = _pts(points) - self.a
+        ab = self.b - self.a
+        denom = float(ab @ ab)
+        t = np.clip(np.einsum("...i,i->...", p, ab) / max(denom, 1e-300), 0.0, 1.0)
+        d = p - t[..., None] * ab
+        return np.sqrt(np.einsum("...i,...i->...", d, d)) - self.radius
+
+
+class TorusSDF(SDF):
+    """Torus about +z at ``center``: major radius ``R``, tube radius ``r`` (exact)."""
+
+    def __init__(self, center, major: float, minor: float):
+        self.center = as_vec3(center)
+        self.major = float(major)
+        self.minor = float(minor)
+        if not (0 < self.minor < self.major):
+            raise ValueError("torus needs 0 < minor < major")
+
+    def value(self, points):
+        p = _pts(points) - self.center
+        q = np.hypot(p[..., 0], p[..., 1]) - self.major
+        return np.hypot(q, p[..., 2]) - self.minor
+
+
+class EllipsoidSDF(SDF):
+    """Axis-aligned ellipsoid with semi-axes ``s`` (sign-exact, bounded clearance).
+
+    No closed-form exact distance exists; ``value`` is the normalized
+    implicit ``|p/s| - 1``, which is ``1/min(s)``-Lipschitz, so
+    ``clearance = |value| * min(s)`` is a valid lower bound on boundary
+    distance.
+    """
+
+    def __init__(self, center, semi_axes):
+        self.center = as_vec3(center)
+        self.s = np.broadcast_to(np.asarray(semi_axes, np.float64), (3,)).copy()
+        if np.any(self.s <= 0):
+            raise ValueError("semi-axes must be positive")
+
+    def value(self, points):
+        p = (_pts(points) - self.center) / self.s
+        return np.sqrt(np.einsum("...i,...i->...", p, p)) - 1.0
+
+    def clearance(self, points):
+        return np.abs(self.value(points)) * float(np.min(self.s))
+
+
+class HalfSpaceSDF(SDF):
+    """Half space ``normal . p <= offset`` (exact for unit normal)."""
+
+    def __init__(self, normal, offset: float):
+        n = as_vec3(normal)
+        ln = float(np.linalg.norm(n))
+        if ln == 0:
+            raise ValueError("zero normal")
+        self.normal = n / ln
+        self.offset = float(offset) / ln
+
+    def value(self, points):
+        return np.einsum("...i,i->...", _pts(points), self.normal) - self.offset
+
+
+class RevolvedPolygonSDF(SDF):
+    """Solid of revolution of a 2D polygon profile about the +z axis (exact).
+
+    The profile is a simple polygon in the ``(rho, z)`` half-plane
+    (``rho >= 0``); revolving it around the z axis through ``center``
+    gives lathed shapes (candle holders, goblets, teapot bodies).  Because
+    the solid is rotationally symmetric, the exact 3D distance equals the
+    exact 2D signed distance from ``(rho, z)`` to the polygon, evaluated
+    with the standard point-polygon distance/winding formula.
+    """
+
+    def __init__(self, center, profile):
+        self.center = as_vec3(center)
+        prof = np.asarray(profile, dtype=np.float64)
+        if prof.ndim != 2 or prof.shape[1] != 2 or prof.shape[0] < 3:
+            raise ValueError("profile must be an (n>=3, 2) polygon in (rho, z)")
+        if np.any(prof[:, 0] < 0.0):
+            raise ValueError("profile must lie in the rho >= 0 half-plane")
+        self.profile = prof
+
+    def value(self, points):
+        p = _pts(points) - self.center
+        rho = np.hypot(p[..., 0], p[..., 1])
+        z = p[..., 2]
+        return _polygon_signed_distance(self.profile, rho, z)
+
+
+def _polygon_signed_distance(poly: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """Exact signed distance from broadcast points to a simple 2D polygon.
+
+    Negative inside.  Vectorized over the point arrays; loops only over
+    the polygon's (small) vertex count.
+    """
+    n = poly.shape[0]
+    vx, vy = poly[:, 0], poly[:, 1]
+    d_sq = np.full(np.broadcast(x, y).shape, np.inf, dtype=np.float64)
+    sign_flip = np.zeros(np.broadcast(x, y).shape, dtype=bool)
+    for i in range(n):
+        j = (i + 1) % n
+        ex, ey = vx[j] - vx[i], vy[j] - vy[i]
+        wx, wy = x - vx[i], y - vy[i]
+        len_sq = ex * ex + ey * ey
+        t = np.clip((wx * ex + wy * ey) / max(len_sq, 1e-300), 0.0, 1.0)
+        dx, dy = wx - t * ex, wy - t * ey
+        d_sq = np.minimum(d_sq, dx * dx + dy * dy)
+        # Even-odd crossing count for the inside test.
+        cond = (vy[i] <= y) != (vy[j] <= y)
+        denom = vy[j] - vy[i]
+        with np.errstate(divide="ignore", invalid="ignore"):
+            x_cross = vx[i] + (y - vy[i]) / denom * ex
+        sign_flip ^= cond & (x < np.where(cond, x_cross, np.inf))
+    d = np.sqrt(d_sq)
+    return np.where(sign_flip, -d, d)
+
+
+# ---------------------------------------------------------------------------
+# Combinators
+# ---------------------------------------------------------------------------
+
+
+class _Binary(SDF):
+    def __init__(self, a: SDF, b: SDF):
+        self.a = a
+        self.b = b
+
+    def clearance(self, points):
+        # Boundary of the CSG result is a subset of the union of children
+        # boundaries, so the min of lower bounds is a lower bound.
+        return np.minimum(self.a.clearance(points), self.b.clearance(points))
+
+
+class Union(_Binary):
+    """``A ∪ B``: sign-exact via elementwise min."""
+
+    def value(self, points):
+        return np.minimum(self.a.value(points), self.b.value(points))
+
+
+class Intersection(_Binary):
+    """``A ∩ B``: sign-exact via elementwise max."""
+
+    def value(self, points):
+        return np.maximum(self.a.value(points), self.b.value(points))
+
+
+class Difference(_Binary):
+    """``A \\ B``: sign-exact via ``max(a, -b)``."""
+
+    def value(self, points):
+        return np.maximum(self.a.value(points), -self.b.value(points))
+
+
+def union_all(solids) -> SDF:
+    """Balanced union of a sequence of solids (balanced to keep the
+    evaluation tree shallow for long lists, e.g. turbine blades)."""
+    solids = list(solids)
+    if not solids:
+        raise ValueError("union_all of empty sequence")
+    while len(solids) > 1:
+        solids = [
+            Union(solids[i], solids[i + 1]) if i + 1 < len(solids) else solids[i]
+            for i in range(0, len(solids), 2)
+        ]
+    return solids[0]
+
+
+class Translate(SDF):
+    """Rigid translation (distances unchanged)."""
+
+    def __init__(self, child: SDF, offset):
+        self.child = child
+        self.offset = as_vec3(offset)
+
+    def value(self, points):
+        return self.child.value(_pts(points) - self.offset)
+
+    def clearance(self, points):
+        return self.child.clearance(_pts(points) - self.offset)
+
+
+class Rotate(SDF):
+    """Rigid rotation by an orthonormal matrix (distances unchanged).
+
+    ``matrix`` maps child coordinates to world coordinates; evaluation
+    applies the inverse (transpose) to query points.
+    """
+
+    def __init__(self, child: SDF, matrix):
+        self.child = child
+        m = np.asarray(matrix, dtype=np.float64)
+        if m.shape != (3, 3):
+            raise ValueError("rotation matrix must be 3x3")
+        if not np.allclose(m @ m.T, np.eye(3), atol=1e-9):
+            raise ValueError("rotation matrix must be orthonormal")
+        self.matrix = m
+
+    def value(self, points):
+        return self.child.value(np.einsum("ji,...j->...i", self.matrix, _pts(points)))
+
+    def clearance(self, points):
+        return self.child.clearance(np.einsum("ji,...j->...i", self.matrix, _pts(points)))
+
+
+class Scale(SDF):
+    """Uniform scaling by ``factor`` (distances scale by ``factor``)."""
+
+    def __init__(self, child: SDF, factor: float):
+        self.child = child
+        self.factor = float(factor)
+        if self.factor <= 0:
+            raise ValueError("scale factor must be positive")
+
+    def value(self, points):
+        return self.child.value(_pts(points) / self.factor) * self.factor
+
+    def clearance(self, points):
+        return self.child.clearance(_pts(points) / self.factor) * self.factor

@@ -1,0 +1,140 @@
+"""Dense voxelization of implicit solids and triangle meshes.
+
+Two producers feed the octree:
+
+* :func:`voxelize_sdf` — center-sampled occupancy of an implicit solid
+  on a ``k^3`` grid.  This is the reference the octree's adaptive
+  construction must agree with leaf-for-leaf.
+* :func:`voxelize_mesh` — solid voxelization of a closed triangle mesh
+  by parity ray casting along z columns, exercising the mesh-input path
+  a CAM system (SculptPrint loads STL) would take.
+
+Both are vectorized and chunked so memory stays proportional to a few
+grid slabs, not the whole grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.solids.sdf import SDF
+
+__all__ = ["grid_centers", "voxelize_sdf", "voxelize_mesh"]
+
+
+def grid_centers(domain: AABB, resolution: int, axis_slices: slice | None = None) -> np.ndarray:
+    """Cell-center coordinates of a ``resolution^3`` grid over ``domain``.
+
+    Returns shape ``(nz, ny, nx, 3)`` (z-major so slabs are contiguous);
+    ``axis_slices`` optionally restricts the z range for chunked work.
+    """
+    cell = domain.size / resolution
+    coords = [domain.lo[a] + (np.arange(resolution) + 0.5) * cell[a] for a in range(3)]
+    zs = coords[2] if axis_slices is None else coords[2][axis_slices]
+    Z, Y, X = np.meshgrid(zs, coords[1], coords[0], indexing="ij")
+    return np.stack([X, Y, Z], axis=-1)
+
+
+def voxelize_sdf(sdf: SDF, domain: AABB, resolution: int, *, slab: int = 16) -> np.ndarray:
+    """Center-sampled boolean occupancy grid, shape ``(z, y, x)``.
+
+    A voxel is solid iff the solid's implicit value at the voxel center is
+    ``<= 0`` — the same convention the adaptive octree build uses at leaf
+    level, so the two representations agree exactly.
+    """
+    out = np.empty((resolution, resolution, resolution), dtype=bool)
+    for z0 in range(0, resolution, slab):
+        zsl = slice(z0, min(z0 + slab, resolution))
+        pts = grid_centers(domain, resolution, zsl)
+        out[zsl] = sdf.contains(pts)
+    return out
+
+
+def voxelize_mesh(
+    vertices: np.ndarray,
+    faces: np.ndarray,
+    domain: AABB,
+    resolution: int,
+    *,
+    column_chunk: int = 4096,
+) -> np.ndarray:
+    """Solid voxelization of a closed mesh by z-column parity counting.
+
+    For each (x, y) column of voxel centers, count how many triangles the
+    upward ray from below the domain crosses before each center; odd
+    parity means inside.  To make the parity robust against rays passing
+    exactly through shared mesh edges or vertices (symmetric models place
+    vertices exactly on cell-center planes), every ray is offset inside
+    its cell by a fixed irrational sub-cell amount — a deterministic
+    symbolic perturbation.  Voxel assignment is unchanged; only the
+    (ambiguous) strictly-boundary voxels can differ from center sampling.
+
+    Returns a ``(z, y, x)`` boolean grid like :func:`voxelize_sdf`.
+    """
+    vertices = np.asarray(vertices, dtype=np.float64)
+    faces = np.asarray(faces, dtype=np.intp)
+    if faces.ndim != 2 or faces.shape[1] != 3:
+        raise ValueError("faces must be (n, 3) vertex indices")
+
+    res = resolution
+    cell = domain.size / res
+    # Irrational in-cell ray offsets (the symbolic perturbation).
+    jx = cell[0] * 0.25 * (np.sqrt(2.0) - 1.0)
+    jy = cell[1] * 0.25 * (np.sqrt(3.0) - 1.0)
+    xs = domain.lo[0] + (np.arange(res) + 0.5) * cell[0] + jx
+    ys = domain.lo[1] + (np.arange(res) + 0.5) * cell[1] + jy
+    zs = domain.lo[2] + (np.arange(res) + 0.5) * cell[2]
+
+    tri = vertices[faces]  # (T, 3, 3)
+    # Precompute per-triangle plane z = f(x, y) data.
+    a, b, c = tri[:, 0], tri[:, 1], tri[:, 2]
+
+    out = np.zeros((res, res, res), dtype=bool)
+    cols_x, cols_y = np.meshgrid(xs, ys, indexing="xy")  # (res_y, res_x)
+    flat_x = cols_x.ravel()
+    flat_y = cols_y.ravel()
+
+    for start in range(0, flat_x.size, column_chunk):
+        sl = slice(start, min(start + column_chunk, flat_x.size))
+        px = flat_x[sl][:, None]  # (Q, 1)
+        py = flat_y[sl][:, None]
+
+        # 2D edge functions in the xy plane (half-open top-left rule via
+        # strict/non-strict asymmetry on the sign test).
+        d1 = (b[None, :, 0] - a[None, :, 0]) * (py - a[None, :, 1]) - (
+            b[None, :, 1] - a[None, :, 1]
+        ) * (px - a[None, :, 0])
+        d2 = (c[None, :, 0] - b[None, :, 0]) * (py - b[None, :, 1]) - (
+            c[None, :, 1] - b[None, :, 1]
+        ) * (px - b[None, :, 0])
+        d3 = (a[None, :, 0] - c[None, :, 0]) * (py - c[None, :, 1]) - (
+            a[None, :, 1] - c[None, :, 1]
+        ) * (px - c[None, :, 0])
+        inside = ((d1 > 0) & (d2 > 0) & (d3 > 0)) | ((d1 <= 0) & (d2 <= 0) & (d3 <= 0))
+        # Skip triangles degenerate in projection (vertical walls):
+        area2 = (b[None, :, 0] - a[None, :, 0]) * (c[None, :, 1] - a[None, :, 1]) - (
+            b[None, :, 1] - a[None, :, 1]
+        ) * (c[None, :, 0] - a[None, :, 0])
+        inside &= area2 != 0.0
+
+        # Interpolated z of each (column, triangle) hit.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            w1 = d2 / area2
+            w2 = d3 / area2
+            w3 = d1 / area2
+            zhit = np.where(
+                inside,
+                w1 * a[None, :, 2] + w2 * b[None, :, 2] + w3 * c[None, :, 2],
+                np.inf,
+            )
+
+        # Parity below each voxel center: crossings with zhit < z_center.
+        zhit_sorted = np.sort(zhit, axis=1)
+        idx = np.apply_along_axis(np.searchsorted, 1, zhit_sorted, zs)
+        col_inside = (idx % 2).astype(bool)  # (Q, res_z)
+
+        flat_idx = np.arange(start, start + px.shape[0])
+        yy, xx = np.unravel_index(flat_idx, (res, res))
+        out[:, yy, xx] = col_inside.T
+    return out

@@ -1,0 +1,12 @@
+"""Tool models: stacked bounding cylinders anchored at a pivot.
+
+The paper replaces a fine-grained volumetric tool representation with a
+small collection of bounding cylinders (Figure 1) sharing the tool axis.
+This package provides the :class:`Tool` container, the paper's exact
+4-cylinder evaluation tool, and the 2D generating profile the ICA
+computation consumes.
+"""
+
+from repro.tool.tool import Tool, paper_tool, ball_end_mill, straight_line_tool
+
+__all__ = ["Tool", "paper_tool", "ball_end_mill", "straight_line_tool"]

@@ -1,0 +1,131 @@
+"""The stacked-cylinder tool model.
+
+A tool is a stack of coaxial cylinders: cylinder ``c`` spans the axial
+interval ``[z0[c], z1[c]]`` measured from the *pivot* (the tool tip, the
+point the CD problem fixes) along the tool direction, with radius
+``radius[c]``.  The paper's evaluation tool has four cylinders — cutter,
+thin shank, thick shank, and holder — whose radii and heights come from
+Section 5.1.
+
+Because all cylinders share the axis, the solid tool is a solid of
+revolution; its 2D generating profile (a union of rectangles in the
+(axial, radial) plane) is what the ICA computation operates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.cylinder import Cylinder
+
+__all__ = ["Tool", "paper_tool", "ball_end_mill", "straight_line_tool"]
+
+
+@dataclass(frozen=True)
+class Tool:
+    """Immutable stacked-cylinder tool (tool coordinates, pivot at z=0)."""
+
+    z0: np.ndarray  # (C,) axial start of each cylinder
+    z1: np.ndarray  # (C,) axial end
+    radius: np.ndarray  # (C,)
+    name: str = "tool"
+
+    def __post_init__(self) -> None:
+        z0 = np.atleast_1d(np.asarray(self.z0, dtype=np.float64))
+        z1 = np.atleast_1d(np.asarray(self.z1, dtype=np.float64))
+        r = np.atleast_1d(np.asarray(self.radius, dtype=np.float64))
+        if not (z0.shape == z1.shape == r.shape) or z0.ndim != 1:
+            raise ValueError("z0, z1, radius must be equal-length 1D arrays")
+        if z0.size == 0:
+            raise ValueError("a tool needs at least one cylinder")
+        if np.any(z1 <= z0):
+            raise ValueError("each cylinder needs z1 > z0")
+        if np.any(r <= 0.0):
+            raise ValueError("cylinder radii must be positive")
+        object.__setattr__(self, "z0", z0)
+        object.__setattr__(self, "z1", z1)
+        object.__setattr__(self, "radius", r)
+
+    @classmethod
+    def from_segments(cls, segments, name: str = "tool") -> "Tool":
+        """Build from ``[(radius, height), ...]`` stacked tip-to-holder.
+
+        The first segment starts at the pivot (z=0); each subsequent
+        segment starts where the previous one ended.
+        """
+        radii = []
+        z0s = []
+        z1s = []
+        z = 0.0
+        for radius, height in segments:
+            z0s.append(z)
+            z += float(height)
+            z1s.append(z)
+            radii.append(float(radius))
+        return cls(np.array(z0s), np.array(z1s), np.array(radii), name=name)
+
+    @property
+    def n_cylinders(self) -> int:
+        """The paper's ``N_c`` — the constant in every check-cost formula."""
+        return int(self.z0.size)
+
+    @property
+    def reach(self) -> float:
+        """Largest axial extent (tip of the stack)."""
+        return float(self.z1.max())
+
+    @property
+    def max_radius(self) -> float:
+        return float(self.radius.max())
+
+    def cylinders(self, pivot, direction) -> list[Cylinder]:
+        """Materialize world-space :class:`Cylinder` objects for one pose."""
+        return [
+            Cylinder(pivot, direction, float(a), float(b), float(r))
+            for a, b, r in zip(self.z0, self.z1, self.radius)
+        ]
+
+    def profile_rectangles(self) -> np.ndarray:
+        """The 2D generating rectangles ``(z0, z1, radius)`` rows, shape (C, 3)."""
+        return np.stack([self.z0, self.z1, self.radius], axis=-1)
+
+    def contains(self, pivot, direction, points) -> np.ndarray:
+        """Broadcast membership of world points in the solid tool at a pose."""
+        p = np.asarray(points, dtype=np.float64) - np.asarray(pivot, dtype=np.float64)
+        d = np.asarray(direction, dtype=np.float64)
+        axial = np.einsum("...i,i->...", p, d)
+        radial_sq = np.einsum("...i,...i->...", p, p) - axial * axial
+        radial = np.sqrt(np.maximum(radial_sq, 0.0))
+        return (
+            (axial[..., None] >= self.z0)
+            & (axial[..., None] <= self.z1)
+            & (radial[..., None] <= self.radius)
+        ).any(axis=-1)
+
+
+def paper_tool() -> Tool:
+    """The Section 5.1 evaluation tool: 4 cylinders.
+
+    Radii (31.5, 20, 6.225, 6.35) mm and heights (22.1, 78, 76.2, 25.4) mm,
+    listed holder-to-cutter in the paper; stacked here from the tip (the
+    pivot) upward: cutter, thin shank, thick shank, holder.
+    """
+    return Tool.from_segments(
+        [(6.35, 25.4), (6.225, 76.2), (20.0, 78.0), (31.5, 22.1)],
+        name="paper-4cyl",
+    )
+
+
+def ball_end_mill(radius: float = 3.0, flute: float = 20.0, shank: float = 60.0) -> Tool:
+    """A simple two-cylinder end mill for examples and small tests."""
+    return Tool.from_segments(
+        [(radius, flute), (radius * 1.6, shank)],
+        name=f"endmill-r{radius:g}",
+    )
+
+
+def straight_line_tool(length: float = 200.0, radius: float = 1e-3) -> Tool:
+    """Near-degenerate thin tool (the straight line of Figure 9's analysis)."""
+    return Tool(np.array([0.0]), np.array([length]), np.array([radius]), name="line")

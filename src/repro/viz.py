@@ -1,0 +1,87 @@
+"""Terminal visualization helpers (ASCII) for maps, octrees, and stock.
+
+Everything in the pipeline is easier to debug when you can look at it;
+these renderers keep the examples and bug reports dependency-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cd.result import CDResult
+from repro.octree.linear import LinearOctree
+
+__all__ = [
+    "render_accessibility",
+    "render_octree_slice",
+    "render_grid_slice",
+    "histogram_ascii",
+]
+
+
+def render_accessibility(result: CDResult, *, accessible: str = ".", blocked: str = "#") -> str:
+    """The AM with phi/gamma axis labels (Figure 2, labelled).
+
+    Rows run phi = 0..pi top to bottom, columns gamma = 0..2pi left to
+    right, matching :meth:`repro.cd.result.CDResult.render_ascii`.
+    """
+    body = result.render_ascii(accessible, blocked).splitlines()
+    m = len(body)
+    out = [f"gamma: 0 .. 2pi ({result.grid.n} cols)"]
+    for i, row in enumerate(body):
+        tag = ""
+        if i == 0:
+            tag = " phi=0 (+z)"
+        elif i == m - 1:
+            tag = " phi=pi (-z)"
+        out.append(row + tag)
+    out.append(
+        f"accessible {result.n_accessible}/{result.grid.size} "
+        f"({100.0 * result.n_accessible / result.grid.size:.1f}%)"
+    )
+    return "\n".join(out)
+
+
+def render_grid_slice(grid: np.ndarray, z_index: int, *, solid: str = "#", air: str = " ", stride: int = 1) -> str:
+    """One z slice of a dense (z, y, x) boolean grid."""
+    grid = np.asarray(grid, dtype=bool)
+    if grid.ndim != 3:
+        raise ValueError("grid must be 3D (z, y, x)")
+    if not 0 <= z_index < grid.shape[0]:
+        raise ValueError("z_index out of range")
+    sl = grid[z_index, ::stride, ::stride]
+    return "\n".join("".join(solid if c else air for c in row) for row in sl)
+
+
+def render_octree_slice(tree: LinearOctree, z: float, *, width: int = 64) -> str:
+    """A solid/air slice through the octree at world height ``z``.
+
+    Sampled at ``width x width`` points across the domain — a quick
+    visual check that a model voxelized the way you expected.
+    """
+    lo = tree.domain.lo
+    hi = tree.domain.hi
+    if not lo[2] <= z <= hi[2]:
+        raise ValueError(f"z={z} outside the domain [{lo[2]}, {hi[2]}]")
+    xs = np.linspace(lo[0], hi[0], width)
+    ys = np.linspace(lo[1], hi[1], width)
+    X, Y = np.meshgrid(xs, ys, indexing="xy")
+    pts = np.stack([X, Y, np.full_like(X, z)], axis=-1)
+    inside = tree.contains_points(pts)
+    return "\n".join(
+        "".join("#" if c else "." for c in row) for row in inside
+    )
+
+
+def histogram_ascii(values, *, bins: int = 10, width: int = 40, label: str = "") -> str:
+    """A horizontal ASCII histogram (for per-thread check counts, Fig 14)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        return "(no data)"
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(int(counts.max()), 1)
+    out = [label] if label else []
+    for c, e0, e1 in zip(counts, edges[:-1], edges[1:]):
+        bar = "*" * max(int(round(width * c / peak)), 1 if c else 0)
+        out.append(f"[{e0:10.1f}, {e1:10.1f}) {c:6d} {bar}")
+    return "\n".join(out)

@@ -1,0 +1,178 @@
+"""Unit tests for the volume primitives (AABB, Sphere, Cylinder)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.cylinder import Cylinder
+from repro.geometry.sphere import Sphere
+
+coord = st.floats(-50, 50, allow_nan=False)
+
+
+class TestAABB:
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            AABB([0, 0, 0], [-1, 1, 1])
+
+    def test_cube_properties(self):
+        b = AABB.cube([1, 2, 3], 2.0)
+        np.testing.assert_allclose(b.center, [1, 2, 3])
+        assert b.inscribed_radius == pytest.approx(2.0)
+        assert b.circumscribed_radius == pytest.approx(2.0 * np.sqrt(3))
+
+    def test_corners_bit_order(self):
+        b = AABB([0, 0, 0], [1, 2, 3])
+        c = b.corners()
+        np.testing.assert_allclose(c[0], [0, 0, 0])
+        np.testing.assert_allclose(c[1], [1, 0, 0])  # bit 0 -> x hi
+        np.testing.assert_allclose(c[2], [0, 2, 0])  # bit 1 -> y hi
+        np.testing.assert_allclose(c[4], [0, 0, 3])  # bit 2 -> z hi
+        np.testing.assert_allclose(c[7], [1, 2, 3])
+
+    def test_contains(self):
+        b = AABB([0, 0, 0], [1, 1, 1])
+        assert b.contains([0.5, 0.5, 0.5])
+        assert b.contains([1.0, 1.0, 1.0])  # closed
+        assert not b.contains([1.0001, 0.5, 0.5])
+
+    @given(st.tuples(coord, coord, coord))
+    def test_distance_zero_iff_inside(self, p):
+        b = AABB([-10, -10, -10], [10, 10, 10])
+        p = np.asarray(p)
+        assert (b.distance_to_point(p) == 0.0) == bool(b.contains(p))
+
+    def test_octants_partition(self):
+        b = AABB.cube([0, 0, 0], 4.0)
+        total = sum(np.prod(b.octant(k).size) for k in range(8))
+        assert total == pytest.approx(np.prod(b.size))
+        for k in range(8):
+            assert b.intersects(b.octant(k))
+
+    def test_octant_matches_corner_bits(self):
+        b = AABB.cube([0, 0, 0], 1.0)
+        assert b.octant(0).contains([-0.5, -0.5, -0.5])
+        assert b.octant(7).contains([0.5, 0.5, 0.5])
+        assert b.octant(1).contains([0.5, -0.5, -0.5])
+
+    def test_intersects_touching(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([1, 0, 0], [2, 1, 1])
+        assert a.intersects(b)
+
+    def test_union(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([2, -1, 0], [3, 0.5, 4])
+        u = a.union(b)
+        np.testing.assert_allclose(u.lo, [0, -1, 0])
+        np.testing.assert_allclose(u.hi, [3, 1, 4])
+
+
+class TestSphere:
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            Sphere([0, 0, 0], -1.0)
+
+    def test_inscribed_circumscribed(self):
+        b = AABB.cube([5, 5, 5], 3.0)
+        s1 = Sphere.inscribed(b)
+        s2 = Sphere.circumscribed(b)
+        assert s1.radius == pytest.approx(3.0)
+        assert s2.radius == pytest.approx(3.0 * np.sqrt(3))
+        # every corner is on s2's surface
+        d = np.linalg.norm(b.corners() - s2.center, axis=1)
+        np.testing.assert_allclose(d, s2.radius, rtol=1e-12)
+
+    def test_contains(self):
+        s = Sphere([0, 0, 0], 2.0)
+        assert s.contains([2.0, 0, 0])
+        assert not s.contains([2.001, 0, 0])
+
+    def test_sphere_box_overlap(self):
+        b = AABB.cube([0, 0, 0], 1.0)
+        assert Sphere([2.0, 0, 0], 1.0).intersects_aabb(b)  # touching
+        assert not Sphere([2.0, 0, 0], 0.99).intersects_aabb(b)
+        assert Sphere([0, 0, 0], 0.1).intersects_aabb(b)  # inside
+
+    def test_sphere_sphere(self):
+        assert Sphere([0, 0, 0], 1.0).intersects_sphere(Sphere([2, 0, 0], 1.0))
+        assert not Sphere([0, 0, 0], 1.0).intersects_sphere(Sphere([2.01, 0, 0], 1.0))
+
+
+class TestCylinder:
+    def _cyl(self, direction=(0, 0, 1), z0=0.0, z1=10.0, r=2.0):
+        return Cylinder([0, 0, 0], direction, z0, z1, r)
+
+    def test_invalid_span_raises(self):
+        with pytest.raises(ValueError):
+            self._cyl(z0=5.0, z1=1.0)
+
+    def test_direction_normalized(self):
+        c = Cylinder([0, 0, 0], [0, 0, 10.0], 0, 1, 1)
+        np.testing.assert_allclose(c.direction, [0, 0, 1])
+
+    def test_contains_axis_points(self):
+        c = self._cyl()
+        assert c.contains([0, 0, 5.0])
+        assert c.contains([2.0, 0, 5.0])  # on the side surface
+        assert not c.contains([2.001, 0, 5.0])
+        assert not c.contains([0, 0, -0.001])
+        assert not c.contains([0, 0, 10.001])
+
+    @given(
+        st.floats(0.05, np.pi - 0.05),
+        st.floats(0, 2 * np.pi),
+        st.tuples(coord, coord, coord),
+    )
+    def test_distance_rotation_invariant(self, phi, gamma, p):
+        """Distance must equal the axis-aligned case after rotating both."""
+        from repro.geometry.frames import rotation_to_axis
+        from repro.geometry.orientation import direction_from_angles
+
+        d = direction_from_angles(phi, gamma)
+        c = self._cyl(direction=d)
+        R = rotation_to_axis(d)
+        p = np.asarray(p)
+        p_local = R @ p
+        c_axis = self._cyl()  # +z aligned
+        assert c.distance_to_point(p) == pytest.approx(
+            c_axis.distance_to_point(p_local), abs=1e-9
+        )
+
+    def test_distance_inside_zero(self):
+        c = self._cyl()
+        assert c.distance_to_point([1.0, 1.0, 3.0]) == 0.0
+
+    def test_aabb_world_contains_samples(self, rng):
+        from repro.geometry.orientation import direction_from_angles
+
+        d = direction_from_angles(1.1, 2.3)
+        c = Cylinder([1, 2, 3], d, -2.0, 7.0, 1.5)
+        box = c.aabb_world()
+        # random cylinder points must be inside the box
+        z = rng.uniform(-2, 7, 500)
+        ang = rng.uniform(0, 2 * np.pi, 500)
+        rad = rng.uniform(0, 1.5, 500)
+        from repro.geometry.frames import frame_from_axis
+
+        F = frame_from_axis(d)
+        pts = (
+            np.asarray([1, 2, 3])
+            + z[:, None] * d
+            + (rad * np.cos(ang))[:, None] * F[0]
+            + (rad * np.sin(ang))[:, None] * F[1]
+        )
+        assert box.contains(pts).all()
+
+    def test_with_orientation_preserves_profile(self):
+        c = self._cyl()
+        c2 = c.with_orientation([1, 0, 0])
+        assert (c2.z0, c2.z1, c2.radius) == (c.z0, c.z1, c.radius)
+        np.testing.assert_allclose(c2.direction, [1, 0, 0])
+
+    def test_base_top_centers(self):
+        c = self._cyl(z0=2.0, z1=5.0)
+        np.testing.assert_allclose(c.base_center, [0, 0, 2.0])
+        np.testing.assert_allclose(c.top_center, [0, 0, 5.0])

@@ -1,0 +1,165 @@
+"""AM post-processing utilities and octree serialization."""
+
+import numpy as np
+import pytest
+
+from repro.cd.ammaps import (
+    best_orientation,
+    clearance_depth,
+    connected_regions,
+    dilate_blocked,
+    merge_accessible,
+    safe_accessible,
+)
+from repro.octree.io import load_octree, save_octree
+
+
+def _map(rows):
+    """Build a bool map from '.'/'#' strings ('.' accessible)."""
+    return np.array([[c == "." for c in row] for row in rows])
+
+
+class TestDilateBlocked:
+    def test_single_block_grows_cross(self):
+        acc = _map(["....", "..#.", "....", "...."])
+        out = dilate_blocked(acc, 1)
+        exp = _map(["..#.", ".###", "..#.", "...."])
+        np.testing.assert_array_equal(out, exp)
+
+    def test_gamma_wraparound(self):
+        acc = _map(["#...", "....", "...."])
+        out = dilate_blocked(acc, 1)
+        assert not out[0, 1]  # right neighbor
+        assert not out[0, 3]  # wrapped left neighbor
+        assert not out[1, 0]  # below
+        assert out[2, 0]  # two away: untouched
+
+    def test_phi_does_not_wrap(self):
+        acc = _map(["#...", "....", "...."])
+        out = dilate_blocked(acc, 1)
+        assert out[2].all()  # bottom row untouched: no pole wraparound
+
+    def test_zero_steps_identity(self):
+        acc = _map([".#.", "...", "..."])
+        np.testing.assert_array_equal(dilate_blocked(acc, 0), acc)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dilate_blocked(np.zeros(4, bool), 1)
+        with pytest.raises(ValueError):
+            dilate_blocked(np.zeros((2, 2), bool), -1)
+
+    def test_safe_accessible_wraps_result(self, sphere_scene):
+        from repro.cd import AICA, run_cd
+        from repro.geometry.orientation import OrientationGrid
+
+        r = run_cd(sphere_scene, OrientationGrid.square(8), AICA())
+        safe = safe_accessible(r, 1)
+        # eroding can only lose accessibility
+        assert (safe <= r.accessibility_map).all()
+
+
+class TestConnectedRegions:
+    def test_two_regions(self):
+        acc = _map(["..#..", "..#..", "..#.."])
+        labels, n = connected_regions(acc)
+        # gamma wraps: the left and right parts connect around the seam!
+        assert n == 1
+
+    def test_two_regions_no_wrap(self):
+        acc = _map(["#.#.#", "#.#.#", "#.#.#"])
+        labels, n = connected_regions(acc)
+        assert n == 2
+        assert labels[0, 1] != labels[0, 3]
+
+    def test_blocked_cells_zero(self):
+        acc = _map(["..", "##"])
+        labels, n = connected_regions(acc)
+        assert (labels[1] == 0).all()
+        assert n == 1
+
+    def test_empty(self):
+        labels, n = connected_regions(np.zeros((3, 3), bool))
+        assert n == 0
+        assert (labels == 0).all()
+
+
+class TestClearanceDepth:
+    def test_depth_values(self):
+        acc = _map(["#....", ".....", "....."])
+        d = clearance_depth(acc)
+        assert d[0, 0] == 0
+        assert d[0, 1] == 1
+        assert d[1, 1] == 2
+        assert d[0, 4] == 1  # wraparound neighbor of the block
+
+    def test_all_accessible(self):
+        d = clearance_depth(np.ones((4, 6), bool))
+        assert (d == 10).all()
+
+    def test_best_orientation(self):
+        acc = _map(["#....", ".....", ".....", ".....", "....#"])
+        i, j = best_orientation(acc)
+        assert acc[i, j]
+        d = clearance_depth(acc)
+        assert d[i, j] == d[np.where(acc)].max()
+
+    def test_best_orientation_none(self):
+        with pytest.raises(ValueError):
+            best_orientation(np.zeros((2, 2), bool))
+
+
+class TestMerge:
+    def test_intersection_and_union(self):
+        a = _map(["..", ".#"])
+        b = _map([".#", ".."])
+        inter = merge_accessible([a, b], "intersection")
+        union = merge_accessible([a, b], "union")
+        np.testing.assert_array_equal(inter, _map(["..", ".#"]) & _map([".#", ".."]))
+        np.testing.assert_array_equal(union, a | b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            merge_accessible([], "union")
+        with pytest.raises(ValueError):
+            merge_accessible([np.zeros((2, 2), bool)], "xor")
+        with pytest.raises(ValueError):
+            merge_accessible([np.zeros((2, 2), bool), np.zeros((3, 3), bool)])
+
+
+class TestOctreeIO:
+    def test_roundtrip(self, head_tree_32, tmp_path):
+        p = tmp_path / "tree.npz"
+        save_octree(head_tree_32, p)
+        loaded = load_octree(p)
+        assert loaded.depth == head_tree_32.depth
+        np.testing.assert_allclose(loaded.domain.lo, head_tree_32.domain.lo)
+        for a, b in zip(loaded.levels, head_tree_32.levels):
+            np.testing.assert_array_equal(a.codes, b.codes)
+            np.testing.assert_array_equal(a.status, b.status)
+            np.testing.assert_array_equal(a.child_start, b.child_start)
+
+    def test_roundtrip_preserves_cd_results(self, head_tree_64_expanded, tmp_path):
+        from repro.cd import AICA, Scene, run_cd
+        from repro.geometry.orientation import OrientationGrid
+        from repro.tool.tool import paper_tool
+
+        p = tmp_path / "tree.npz"
+        save_octree(head_tree_64_expanded, p)
+        loaded = load_octree(p)
+        pivot = np.array([0.0, -30.0, 5.0])
+        g = OrientationGrid.square(6)
+        a = run_cd(Scene(head_tree_64_expanded, paper_tool(), pivot), g, AICA())
+        b = run_cd(Scene(loaded, paper_tool(), pivot), g, AICA())
+        np.testing.assert_array_equal(a.collides, b.collides)
+
+    def test_version_check(self, head_tree_32, tmp_path):
+        p = tmp_path / "tree.npz"
+        save_octree(head_tree_32, p)
+        import numpy as np_
+
+        data = dict(np_.load(p))
+        data["format_version"] = np_.asarray(99)
+        np_.savez(p, **data)
+        with pytest.raises(ValueError):
+            load_octree(p)

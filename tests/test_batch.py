@@ -1,0 +1,139 @@
+"""Batch kernels must agree elementwise with the scalar predicates."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.geometry.batch import (
+    tool_aabb_batch,
+    tool_aabb_cull_batch,
+    tool_point_distance_2d,
+)
+from repro.geometry.cylinder import Cylinder
+from repro.geometry.orientation import direction_from_angles
+from repro.geometry.predicates import tool_cylinders_aabb_intersects
+
+
+@pytest.fixture(scope="module")
+def random_batch(rng):
+    P = 600
+    pivot = np.array([0.5, -0.25, 1.0])
+    z0s = np.array([0.0, 2.0, 8.0])
+    z1s = np.array([2.0, 8.0, 11.0])
+    rads = np.array([0.5, 1.5, 3.0])
+    dirs = direction_from_angles(
+        rng.uniform(0.01, np.pi - 0.01, P), rng.uniform(0, 2 * np.pi, P)
+    )
+    centers = rng.uniform(-10, 10, (P, 3))
+    halves = rng.uniform(0.05, 2.5, P)
+    return pivot, dirs, centers, halves, z0s, z1s, rads
+
+
+def _scalar_reference(pivot, dirs, centers, halves, z0s, z1s, rads):
+    out = np.zeros(len(dirs), dtype=bool)
+    for i in range(len(dirs)):
+        cyls = [
+            Cylinder(pivot, dirs[i], z0s[c], z1s[c], rads[c]) for c in range(len(z0s))
+        ]
+        out[i] = tool_cylinders_aabb_intersects(cyls, AABB.cube(centers[i], halves[i]))
+    return out
+
+
+class TestToolAabbBatch:
+    def test_matches_scalar_screened(self, random_batch):
+        exp = _scalar_reference(*random_batch)
+        got = tool_aabb_batch(*random_batch, screen=True)
+        np.testing.assert_array_equal(got, exp)
+
+    def test_matches_scalar_unscreened(self, random_batch):
+        pivot, dirs, centers, halves, z0s, z1s, rads = random_batch
+        exp = _scalar_reference(pivot, dirs[:200], centers[:200], halves[:200], z0s, z1s, rads)
+        got = tool_aabb_batch(
+            pivot, dirs[:200], centers[:200], halves[:200], z0s, z1s, rads, screen=False
+        )
+        np.testing.assert_array_equal(got, exp)
+
+    def test_screen_invariance(self, random_batch):
+        a = tool_aabb_batch(*random_batch, screen=True)
+        b = tool_aabb_batch(*random_batch, screen=False)
+        np.testing.assert_array_equal(a, b)
+
+    def test_chunking_invariance(self, random_batch):
+        a = tool_aabb_batch(*random_batch, chunk=64)
+        b = tool_aabb_batch(*random_batch, chunk=100000)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_batch(self):
+        got = tool_aabb_batch(
+            np.zeros(3),
+            np.zeros((0, 3)),
+            np.zeros((0, 3)),
+            np.zeros(0),
+            [0.0],
+            [1.0],
+            [1.0],
+        )
+        assert got.shape == (0,)
+
+    def test_single_cylinder_scalar_tool_params(self):
+        got = tool_aabb_batch(
+            np.zeros(3),
+            np.array([[0.0, 0.0, 1.0]]),
+            np.array([[0.0, 0.0, 5.0]]),
+            np.array([0.5]),
+            0.0,
+            10.0,
+            2.0,
+        )
+        assert got[0]
+
+    def test_per_axis_halves(self):
+        # a slab box: thin in x, long in z — touches only via its z extent
+        got = tool_aabb_batch(
+            np.zeros(3),
+            np.array([[0.0, 0.0, 1.0]]),
+            np.array([[2.5, 0.0, 5.0]]),
+            np.array([[0.5, 0.5, 4.0]]),
+            0.0,
+            10.0,
+            2.0,
+        )
+        assert got[0]
+
+
+class TestCullBatch:
+    def test_conservative(self, random_batch):
+        """Cull == False must imply the exact test is False."""
+        exact = tool_aabb_batch(*random_batch)
+        cull = tool_aabb_cull_batch(*random_batch)
+        assert not (exact & ~cull).any()
+
+    def test_cull_actually_culls(self, random_batch):
+        cull = tool_aabb_cull_batch(*random_batch)
+        assert (~cull).sum() > 0  # it should reject a decent share
+
+    def test_chunking_invariance(self, random_batch):
+        pivot, dirs, centers, halves, z0s, z1s, rads = random_batch
+        a = tool_aabb_cull_batch(pivot, dirs, centers, halves, z0s, z1s, rads, chunk=77)
+        b = tool_aabb_cull_batch(pivot, dirs, centers, halves, z0s, z1s, rads)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestToolPointDistance2D:
+    def test_matches_cylinder_distance(self, rng):
+        z0s = np.array([0.0, 3.0])
+        z1s = np.array([3.0, 9.0])
+        rads = np.array([1.0, 2.5])
+        pivot = np.zeros(3)
+        d = np.array([0.0, 0.0, 1.0])
+        cyls = [Cylinder(pivot, d, z0s[c], z1s[c], rads[c]) for c in range(2)]
+        pts = rng.uniform(-12, 12, (300, 3))
+        axial = pts[:, 2]
+        radial = np.hypot(pts[:, 0], pts[:, 1])
+        got = tool_point_distance_2d(z0s, z1s, rads, axial, radial)
+        exp = np.minimum(cyls[0].distance_to_point(pts), cyls[1].distance_to_point(pts))
+        np.testing.assert_allclose(got, exp, atol=1e-12)
+
+    def test_inside_zero(self):
+        got = tool_point_distance_2d([0.0], [5.0], [2.0], np.array([2.5]), np.array([1.0]))
+        assert got[0] == 0.0

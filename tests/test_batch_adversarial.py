@@ -1,0 +1,130 @@
+"""Adversarial configurations for the batched CHECKBOX kernel.
+
+Random sampling (tests/test_batch.py) rarely produces the branch-
+switching configurations that break clipping code: axis-aligned tool
+directions (frame construction changes helper axis), boxes exactly
+straddling the slab planes, degenerate face projections, huge/tiny
+aspect ratios, and exact-touch placements.  Each case is checked against
+the scalar reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.geometry.batch import tool_aabb_batch
+from repro.geometry.cylinder import Cylinder
+from repro.geometry.orientation import direction_from_angles
+from repro.geometry.predicates import tool_cylinders_aabb_intersects
+
+PIVOT = np.array([0.0, 0.0, 0.0])
+Z0 = np.array([0.0])
+Z1 = np.array([10.0])
+RAD = np.array([2.0])
+
+
+def _both(dirs, centers, halves):
+    dirs = np.atleast_2d(np.asarray(dirs, float))
+    centers = np.atleast_2d(np.asarray(centers, float))
+    halves = np.atleast_1d(np.asarray(halves, float))
+    got = tool_aabb_batch(PIVOT, dirs, centers, halves, Z0, Z1, RAD)
+    got_raw = tool_aabb_batch(PIVOT, dirs, centers, halves, Z0, Z1, RAD, screen=False)
+    exp = np.array(
+        [
+            tool_cylinders_aabb_intersects(
+                [Cylinder(PIVOT, dirs[i], 0.0, 10.0, 2.0)],
+                AABB.cube(centers[i], halves[i]),
+            )
+            for i in range(len(dirs))
+        ]
+    )
+    np.testing.assert_array_equal(got, exp)
+    np.testing.assert_array_equal(got_raw, exp)
+    return exp
+
+
+class TestAxisAlignedDirections:
+    @pytest.mark.parametrize(
+        "d", [(1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1)]
+    )
+    def test_cardinal_directions(self, d):
+        d = np.asarray(d, float)
+        centers = [5.0 * d, 5.0 * d + [0, 3.0, 0], 15.0 * d, -3.0 * d]
+        _both(np.tile(d, (4, 1)), centers, [1.0, 1.5, 1.0, 1.0])
+
+    def test_diagonal_directions(self):
+        diag = np.array([1.0, 1.0, 1.0]) / np.sqrt(3)
+        centers = [5.0 * diag, 5.0 * diag + np.array([2.5, -2.5, 0.0])]
+        _both(np.tile(diag, (2, 1)), centers, [0.5, 0.5])
+
+
+class TestSlabStraddling:
+    def test_box_spanning_both_caps(self):
+        d = np.array([0.0, 0.0, 1.0])
+        _both([d], [[0.0, 0.0, 5.0]], [20.0])  # giant box swallows cylinder
+
+    def test_box_exactly_at_cap_plane(self):
+        d = np.array([0.0, 0.0, 1.0])
+        # box top face exactly at z = 0 (the base cap plane)
+        _both([d], [[0.5, 0.0, -1.0]], [1.0])
+        # box bottom exactly at z = 10
+        _both([d], [[0.5, 0.0, 11.0]], [1.0])
+
+    def test_sliver_boxes(self):
+        d = direction_from_angles(0.7, 1.1)
+        centers = np.tile(6.0 * d, (3, 1))
+        _both(np.tile(d, (3, 1)), centers, [1e-4, 1e-2, 30.0])
+
+
+class TestExactTouch:
+    def test_side_touch_with_epsilon(self):
+        d = np.array([0.0, 0.0, 1.0])
+        for eps, expect in ((-1e-9, True), (1e-6, False)):
+            got = tool_aabb_batch(
+                PIVOT,
+                d[None],
+                np.array([[3.0 + eps, 0.0, 5.0]]),
+                np.array([1.0]),
+                Z0,
+                Z1,
+                RAD,
+            )
+            assert bool(got[0]) == expect
+
+    def test_corner_touch(self):
+        # box corner approaching the rim circle point (2, 0, 10)
+        d = np.array([0.0, 0.0, 1.0])
+        rim = np.array([2.0, 0.0, 10.0])
+        inside_c = rim + np.array([0.99, 0.0, 0.99])
+        outside_c = rim + np.array([1.01, 0.0, 1.01])
+        got = tool_aabb_batch(
+            PIVOT,
+            np.tile(d, (2, 1)),
+            np.stack([inside_c, outside_c]),
+            np.array([1.0, 1.0]),
+            Z0,
+            Z1,
+            RAD,
+        )
+        assert bool(got[0]) is True
+        assert bool(got[1]) is False
+
+
+class TestMixedBatch:
+    def test_large_mixed_batch_consistency(self, rng):
+        """A batch mixing all the adversarial families at once."""
+        dirs = []
+        centers = []
+        halves = []
+        for d in np.vstack([np.eye(3), -np.eye(3)]):
+            dirs.append(d)
+            centers.append(5.0 * d)
+            halves.append(1.0)
+        for _ in range(50):
+            d = direction_from_angles(
+                rng.uniform(0.001, np.pi - 0.001), rng.uniform(0, 2 * np.pi)
+            )
+            dirs.append(d)
+            centers.append(rng.uniform(-15, 15, 3))
+            halves.append(10.0 ** rng.uniform(-3, 1))
+        _both(np.array(dirs), np.array(centers), np.array(halves))

@@ -1,0 +1,157 @@
+"""Bench harness: config, rendering, runner, and experiment smoke runs."""
+
+import numpy as np
+import pytest
+
+from repro.bench.config import SCALES, BenchScale, current_scale
+from repro.bench.render import format_value, render_series, render_table
+from repro.bench.runner import build_workload, clear_caches, run_workload
+from repro.cd import AICA
+from repro.geometry.orientation import OrientationGrid
+
+SMOKE = SCALES["smoke"]
+
+
+class TestConfig:
+    def test_presets_exist(self):
+        assert {"smoke", "small", "medium", "large"} <= set(SCALES)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        assert current_scale().name == "medium"
+
+    def test_bad_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "nope")
+        with pytest.raises(KeyError):
+            current_scale()
+
+    def test_default_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale().name == "small"
+
+    def test_labels(self):
+        assert SMOKE.resolution_labels == ["16^3", "32^3"]
+
+
+class TestRender:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(0.0) == "0"
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value(3.14159) == "3.14"
+        assert format_value("x") == "x"
+
+    def test_render_table_alignment(self):
+        out = render_table("T", ["a", "bb"], [[1, 2.5], [300, None]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        widths = {len(l) for l in lines[2:]}
+        assert len(widths) == 1  # fixed-width rows
+
+    def test_render_table_notes(self):
+        out = render_table("T", ["a"], [[1]], notes="hello")
+        assert out.endswith("hello")
+
+    def test_render_series(self):
+        out = render_series("S", "x", [1, 2], {"m": [0.1, 0.2]})
+        assert "m" in out and "0.1" in out
+
+
+class TestRunner:
+    def test_build_workload_by_name(self):
+        wl = build_workload("head", 16, n_pivots=2, seed=1)
+        assert wl.model.name == "head"
+        assert wl.pivots.shape == (2, 3)
+        assert wl.tree.resolution == 16
+
+    def test_workload_cached(self):
+        a = build_workload("head", 16, n_pivots=1)
+        b = build_workload("head", 16, n_pivots=1)
+        assert a.tree is b.tree
+        assert a.path is b.path
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            build_workload("nope", 16)
+
+    def test_run_workload_aggregates(self):
+        wl = build_workload("head", 16, n_pivots=2, seed=0)
+        out = run_workload(wl, AICA(), OrientationGrid.square(4))
+        assert out["method"] == "AICA"
+        assert out["n_pivots"] == 2
+        assert out["sim_total_ms"] >= 0
+        assert out["last_result"].method == "AICA"
+
+    def test_clear_caches(self):
+        build_workload("head", 16, n_pivots=1)
+        clear_caches()
+        # rebuild works after clearing
+        wl = build_workload("head", 16, n_pivots=1)
+        assert wl.tree.resolution == 16
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "table1",
+        "table2",
+        "fig05",
+        "fig09",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "fig18",
+        "fig19",
+        "boxica",
+        "am_overlap",
+        "ablation_bvh",
+        "ablation_costs",
+        "ablation_mapping",
+        "ablation_warp",
+        "ablation_start_level",
+    ],
+)
+def test_experiment_smoke(name):
+    """Every experiment must run at smoke scale and render to text."""
+    from repro.bench.experiments import ALL_EXPERIMENTS
+
+    result = ALL_EXPERIMENTS[name](SMOKE)
+    assert result.exp_id == name
+    assert result.rows, f"{name} produced no rows"
+    text = result.render()
+    assert name in text
+    assert len(text.splitlines()) >= 4
+
+
+class TestExperimentContent:
+    def test_fig16_ordering(self):
+        from repro.bench.experiments import fig16
+
+        r = fig16(SMOKE)
+        sims = r.extras["sims"]
+        res = SMOKE.resolutions[-1]
+        assert sims[("AICA", res)] <= sims[("MICA", res)] * 1.001
+        assert sims[("MICA", res)] <= sims[("PICA", res)]
+        assert sims[("PICA", res)] < sims[("PBoxOpt", res)]
+        assert sims[("PBoxOpt", res)] < sims[("PBox", res)]
+
+    def test_fig17_speedup_positive(self):
+        from repro.bench.experiments import fig17
+
+        r = fig17(SMOKE)
+        sims = r.extras["sims"]
+        l = SMOKE.map_sizes[-1]
+        assert sims[("PBox", l)] / sims[("AICA", l)] > 5.0
+
+    def test_cli_list_and_run(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig16" in out
+        assert main(["table2", "--scale", "smoke"]) == 0
+        assert main(["bogus"]) == 2

@@ -1,0 +1,124 @@
+"""BVH construction invariants and CD equivalence (Section 8 extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bvh.build import BVH, build_bvh, bvh_from_octree
+from repro.bvh.cd import BvhMethod, run_cd_bvh
+from repro.cd import AICA, PBoxOpt, Scene, run_cd
+from repro.geometry.orientation import DirectionSet, OrientationGrid
+from repro.tool.tool import paper_tool
+
+
+@st.composite
+def box_soup(draw):
+    n = draw(st.integers(1, 60))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    centers = rng.uniform(-20, 20, (n, 3))
+    halves = rng.uniform(0.1, 3.0, (n, 3))
+    return centers, halves
+
+
+class TestBuild:
+    @given(box_soup(), st.integers(1, 8))
+    @settings(max_examples=40)
+    def test_invariants(self, soup, leaf_size):
+        centers, halves = soup
+        bvh = build_bvh(centers, halves, leaf_size=leaf_size)
+        bvh.validate()
+        assert bvh.n_primitives == len(centers)
+
+    def test_empty(self):
+        bvh = build_bvh(np.zeros((0, 3)), np.zeros(0))
+        bvh.validate()
+        assert bvh.n_nodes == 0
+
+    def test_single_box(self):
+        bvh = build_bvh(np.array([[1.0, 2.0, 3.0]]), np.array([0.5]))
+        bvh.validate()
+        assert bvh.n_nodes == 1
+        assert bvh.is_leaf(0)
+
+    def test_coincident_centroids_become_leaf(self):
+        centers = np.tile([1.0, 1.0, 1.0], (10, 1))
+        bvh = build_bvh(centers, np.full(10, 0.3), leaf_size=2)
+        bvh.validate()  # cannot split; must still terminate correctly
+
+    def test_scalar_halves_are_cubes(self):
+        bvh = build_bvh(np.array([[0.0, 0, 0], [5.0, 0, 0]]), np.array([1.0, 2.0]))
+        np.testing.assert_allclose(bvh.halves[1], [2.0, 2.0, 2.0])
+
+    def test_root_bounds_cover_everything(self):
+        rng = np.random.default_rng(1)
+        centers = rng.uniform(-9, 9, (40, 3))
+        halves = rng.uniform(0.1, 1.0, 40)
+        bvh = build_bvh(centers, halves)
+        assert (bvh.node_lo[0] <= (centers - halves[:, None]).min(0) + 1e-12).all()
+        assert (bvh.node_hi[0] >= (centers + halves[:, None]).max(0) - 1e-12).all()
+
+    def test_leaf_size_validation(self):
+        with pytest.raises(ValueError):
+            build_bvh(np.zeros((1, 3)), np.ones(1), leaf_size=0)
+
+    def test_from_octree_same_solid(self, head_tree_64_expanded):
+        bvh = bvh_from_octree(head_tree_64_expanded)
+        bvh.validate()
+        # total primitive volume equals the octree's solid volume
+        vol = float(np.prod(2 * bvh.halves, axis=1).sum())
+        assert vol == pytest.approx(head_tree_64_expanded.solid_volume(), rel=1e-9)
+
+
+class TestBvhCd:
+    @pytest.fixture(scope="class")
+    def setup(self, head_tree_64_expanded):
+        bvh = bvh_from_octree(head_tree_64_expanded)
+        pivot = np.array([0.0, -30.0, 5.0])
+        scene = Scene(head_tree_64_expanded, paper_tool(), pivot)
+        return bvh, scene, pivot
+
+    def test_ica_matches_octree(self, setup):
+        bvh, scene, pivot = setup
+        grid = OrientationGrid.square(8)
+        a = run_cd(scene, grid, AICA()).collides
+        b = run_cd_bvh(bvh, paper_tool(), pivot, grid, BvhMethod(use_ica=True)).collides
+        np.testing.assert_array_equal(a, b)
+
+    def test_exact_matches_octree(self, setup):
+        bvh, scene, pivot = setup
+        grid = OrientationGrid.square(6)
+        a = run_cd(scene, grid, PBoxOpt()).collides
+        b = run_cd_bvh(bvh, paper_tool(), pivot, grid, BvhMethod(use_ica=False)).collides
+        np.testing.assert_array_equal(a, b)
+
+    def test_ica_prunes_box_checks(self, setup):
+        bvh, _, pivot = setup
+        grid = OrientationGrid.square(6)
+        ica = run_cd_bvh(bvh, paper_tool(), pivot, grid, BvhMethod(True))
+        box = run_cd_bvh(bvh, paper_tool(), pivot, grid, BvhMethod(False))
+        assert ica.counters.total_box_checks < 0.2 * box.counters.total_box_checks
+        assert ica.table_entries == bvh.n_nodes + bvh.n_primitives
+
+    def test_direction_set_supported(self, setup):
+        bvh, _, pivot = setup
+        ds = DirectionSet(np.array([[0.0, 0.0, 1.0], [0.0, 1.0, 0.0]]))
+        r = run_cd_bvh(bvh, paper_tool(), pivot, ds, BvhMethod(True))
+        assert r.collides.shape == (2,)
+
+    def test_empty_bvh_all_accessible(self):
+        bvh = build_bvh(np.zeros((0, 3)), np.zeros(0))
+        r = run_cd_bvh(bvh, paper_tool(), np.zeros(3), OrientationGrid.square(4))
+        assert r.collides.sum() == 0
+
+    def test_leaf_size_invariance(self, head_tree_64_expanded):
+        pivot = np.array([0.0, -30.0, 5.0])
+        grid = OrientationGrid.square(6)
+        maps = []
+        for ls in (1, 4, 16):
+            bvh = bvh_from_octree(head_tree_64_expanded, leaf_size=ls)
+            maps.append(
+                run_cd_bvh(bvh, paper_tool(), pivot, grid, BvhMethod(True)).collides
+            )
+        np.testing.assert_array_equal(maps[0], maps[1])
+        np.testing.assert_array_equal(maps[0], maps[2])

@@ -1,0 +1,212 @@
+"""Virtual GPU: devices, cost model, counters, and the SIMT scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.engine.costs import DEFAULT_COSTS, CostModel
+from repro.engine.counters import StageBreakdown, ThreadCounters
+from repro.engine.device import DEVICES, GTX_1080, GTX_1080_TI, DeviceSpec, scaled_device
+from repro.engine.simt import makespan_cycles, simulate_kernel, simulate_stage, warp_costs
+
+
+class TestDevice:
+    def test_paper_table2_values(self):
+        assert GTX_1080_TI.cuda_cores == 3548
+        assert GTX_1080_TI.clock_ghz == 1.68
+        assert GTX_1080.cuda_cores == 2560
+        assert GTX_1080.clock_ghz == 1.77
+        assert set(DEVICES) == {"GTX 1080 Ti", "GTX 1080"}
+
+    def test_warp_slots(self):
+        assert GTX_1080_TI.warp_slots == 3548 // 32
+        assert GTX_1080.warp_slots == 80
+
+    def test_seconds_per_op(self):
+        assert GTX_1080_TI.seconds_per_op == pytest.approx(1 / 1.68e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("tiny", cuda_cores=16, clock_ghz=1.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("bad", cuda_cores=64, clock_ghz=0.0)
+
+    def test_scaled_device(self):
+        d = scaled_device(GTX_1080_TI, 32)
+        assert d.cuda_cores == 3548 // 32
+        assert d.clock_ghz == GTX_1080_TI.clock_ghz
+        assert scaled_device(GTX_1080_TI, 1) is GTX_1080_TI
+        with pytest.raises(ValueError):
+            scaled_device(GTX_1080_TI, 0)
+
+
+class TestCostModel:
+    def test_paper_constants(self):
+        c = DEFAULT_COSTS
+        assert c.checkbox(4) == 216 * 4
+        assert c.checkica_fly(4) == 10 * 4 + 3
+        assert c.checkica_memo(4) == 3
+        assert c.ica_precompute(4) == 40
+
+    def test_checkbox_derivation(self):
+        """216 = 6 faces * 4 segments * 9-op rotation (Section 2)."""
+        assert DEFAULT_COSTS.box_per_cyl == 6 * 4 * 9
+
+    def test_ica_derivation(self):
+        """10 = 2 spheres * 5 expanded-rectangle components (Section 3.3)."""
+        assert DEFAULT_COSTS.ica_fly_per_cyl == 2 * 5
+        assert DEFAULT_COSTS.ica_fly_base == 3
+
+    def test_scaled_override(self):
+        c = DEFAULT_COSTS.scaled(box_per_cyl=100)
+        assert c.checkbox(2) == 200
+        assert DEFAULT_COSTS.box_per_cyl == 216  # frozen original
+
+
+class TestThreadCounters:
+    def test_add_threads_bincount(self):
+        c = ThreadCounters(n_threads=4, n_cyl=4)
+        c.add_threads("box_checks", np.array([0, 0, 2]), 4)
+        np.testing.assert_array_equal(c.box_checks, [2, 0, 1, 0])
+
+    def test_add_threads_empty(self):
+        c = ThreadCounters(n_threads=4, n_cyl=4)
+        c.add_threads("box_checks", np.zeros(0, dtype=int), 4)
+        assert c.box_checks.sum() == 0
+
+    def test_thread_ops(self):
+        c = ThreadCounters(n_threads=2, n_cyl=4)
+        c.box_checks[:] = [1, 0]
+        c.ica_memo_checks[:] = [0, 10]
+        c.nodes_visited[:] = [1, 10]
+        ops = c.thread_ops(DEFAULT_COSTS)
+        assert ops[0] == 216 * 4 + 4
+        assert ops[1] == 10 * 3 + 10 * 4
+
+    def test_efficiency(self):
+        c = ThreadCounters(n_threads=1, n_cyl=4)
+        c.box_checks[:] = 1
+        c.ica_memo_checks[:] = 99
+        assert c.ica_efficiency() == pytest.approx(0.99)
+        assert c.box_check_fraction() == pytest.approx(0.01)
+
+    def test_efficiency_no_checks(self):
+        c = ThreadCounters(n_threads=1, n_cyl=4)
+        assert c.ica_efficiency() == 1.0
+
+    def test_merged(self):
+        a = ThreadCounters(n_threads=2, n_cyl=4)
+        b = ThreadCounters(n_threads=2, n_cyl=4)
+        a.box_checks[:] = [1, 2]
+        b.box_checks[:] = [10, 20]
+        m = a.merged_with(b)
+        np.testing.assert_array_equal(m.box_checks, [11, 22])
+        with pytest.raises(ValueError):
+            a.merged_with(ThreadCounters(n_threads=3, n_cyl=4))
+
+    def test_critical_thread(self):
+        c = ThreadCounters(n_threads=3, n_cyl=1)
+        c.nodes_visited[:] = [5, 50, 7]
+        assert c.critical_thread() == 1
+
+    def test_stage_breakdown_total(self):
+        s = StageBreakdown(ica_precompute_s=1.0, cd_tests_s=2.0, wall_s=99.0)
+        assert s.total_s == 3.0  # wall time is reported, not added
+
+
+class TestWarpCosts:
+    def test_max_within_warp(self):
+        ops = np.zeros(64)
+        ops[5] = 100.0
+        ops[40] = 7.0
+        w = warp_costs(ops, 32)
+        np.testing.assert_array_equal(w, [100.0, 7.0])
+
+    def test_padding(self):
+        w = warp_costs(np.array([3.0, 9.0]), 32)
+        assert w.shape == (1,)
+        assert w[0] == 9.0
+
+    def test_empty(self):
+        assert warp_costs(np.zeros(0), 32).size == 0
+
+
+class TestMakespan:
+    def test_fewer_warps_than_slots_is_max(self):
+        assert makespan_cycles(np.array([5.0, 9.0, 2.0]), 10) == 9.0
+
+    def test_uniform_warps_divide_evenly(self):
+        # 20 unit warps on 10 slots -> 2 rounds
+        assert makespan_cycles(np.ones(20), 10) == pytest.approx(2.0)
+
+    def test_lpt_bounds(self):
+        rng = np.random.default_rng(0)
+        w = rng.uniform(1, 100, 400)
+        slots = 7
+        m = makespan_cycles(w, slots)
+        lower = max(w.sum() / slots, w.max())
+        assert lower <= m <= lower * 4 / 3 + w.max()
+
+    @given(arrays(np.float64, st.integers(1, 200), elements=st.floats(0, 1000)))
+    def test_monotone_in_costs(self, w):
+        m1 = makespan_cycles(w, 5)
+        m2 = makespan_cycles(w * 2.0, 5)
+        assert m2 >= m1 - 1e-9
+
+    def test_empty(self):
+        assert makespan_cycles(np.zeros(0), 4) == 0.0
+
+
+class TestSimulateKernel:
+    def test_single_warp_is_critical_thread(self):
+        ops = np.array([10.0, 500.0, 3.0])
+        t = simulate_kernel(ops, GTX_1080_TI)
+        assert t == pytest.approx(500.0 / 1.68e9)
+
+    def test_flat_below_core_count(self):
+        """The Fig 5 flat region: more threads, same time, while M <= cores."""
+        ops_small = np.full(32, 100.0)
+        ops_big = np.full(GTX_1080_TI.warp_slots * 32, 100.0)
+        assert simulate_kernel(ops_small, GTX_1080_TI) == pytest.approx(
+            simulate_kernel(ops_big, GTX_1080_TI)
+        )
+
+    def test_linear_beyond_core_count(self):
+        """The Fig 5/17 linear region: 4x threads ~ 4x time."""
+        n = GTX_1080_TI.warp_slots * 32 * 8
+        t1 = simulate_kernel(np.full(n, 50.0), GTX_1080_TI)
+        t4 = simulate_kernel(np.full(4 * n, 50.0), GTX_1080_TI)
+        assert t4 / t1 == pytest.approx(4.0, rel=0.01)
+
+    def test_clock_tradeoff(self):
+        """Latency-bound work prefers the higher-clocked GTX 1080."""
+        ops = np.full(64, 1000.0)  # 2 warps: latency bound on both cards
+        assert simulate_kernel(ops, GTX_1080) < simulate_kernel(ops, GTX_1080_TI)
+
+    def test_core_count_tradeoff(self):
+        """Throughput-bound work prefers the many-core GTX 1080 Ti."""
+        ops = np.full(3548 * 40, 1000.0)
+        assert simulate_kernel(ops, GTX_1080_TI) < simulate_kernel(ops, GTX_1080)
+
+
+class TestSimulateStage:
+    def test_zero_threads(self):
+        assert simulate_stage(10.0, 0, GTX_1080_TI) == 0.0
+
+    def test_one_round(self):
+        t = simulate_stage(40.0, 32, GTX_1080_TI)
+        assert t == pytest.approx(40.0 / 1.68e9)
+
+    def test_rounds_scale(self):
+        full = GTX_1080_TI.warp_slots * 32
+        t1 = simulate_stage(40.0, full, GTX_1080_TI)
+        t3 = simulate_stage(40.0, 3 * full, GTX_1080_TI)
+        assert t3 == pytest.approx(3 * t1)
+
+    def test_matches_kernel_for_uniform(self):
+        n = 2048
+        a = simulate_stage(40.0, n, GTX_1080_TI)
+        b = simulate_kernel(np.full(n, 40.0), GTX_1080_TI)
+        assert a == pytest.approx(b, rel=1e-9)

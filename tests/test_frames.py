@@ -1,0 +1,73 @@
+"""Unit tests for frames and the axis-alignment rotation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.frames import apply_rotation, frame_from_axis, rotation_to_axis
+from repro.geometry.orientation import direction_from_angles
+
+angles = st.tuples(st.floats(1e-3, np.pi - 1e-3), st.floats(0, 2 * np.pi))
+
+
+def _dir(a):
+    return direction_from_angles(a[0], a[1])
+
+
+class TestFrameFromAxis:
+    @given(angles)
+    def test_orthonormal(self, a):
+        F = frame_from_axis(_dir(a))
+        np.testing.assert_allclose(F @ F.T, np.eye(3), atol=1e-12)
+
+    @given(angles)
+    def test_right_handed(self, a):
+        F = frame_from_axis(_dir(a))
+        assert np.linalg.det(F) == pytest.approx(1.0, abs=1e-12)
+
+    @given(angles)
+    def test_third_row_is_axis(self, a):
+        d = _dir(a)
+        F = frame_from_axis(d)
+        np.testing.assert_allclose(F[2], d, atol=1e-12)
+
+    def test_axis_aligned_inputs(self):
+        for axis in np.eye(3):
+            F = frame_from_axis(axis)
+            np.testing.assert_allclose(F @ F.T, np.eye(3), atol=1e-14)
+
+    def test_batched(self):
+        dirs = direction_from_angles(
+            np.array([0.3, 1.2, 2.8]), np.array([0.0, 3.0, 5.5])
+        )
+        F = frame_from_axis(dirs)
+        assert F.shape == (3, 3, 3)
+        for i in range(3):
+            np.testing.assert_allclose(F[i] @ F[i].T, np.eye(3), atol=1e-12)
+            np.testing.assert_allclose(F[i, 2], dirs[i], atol=1e-12)
+
+
+class TestRotationToAxis:
+    @given(angles)
+    def test_maps_axis_to_z(self, a):
+        d = _dir(a)
+        R = rotation_to_axis(d)
+        np.testing.assert_allclose(apply_rotation(R, d), [0, 0, 1], atol=1e-12)
+
+    @given(angles)
+    def test_preserves_lengths(self, a):
+        R = rotation_to_axis(_dir(a))
+        p = np.array([1.3, -0.7, 2.9])
+        assert np.linalg.norm(apply_rotation(R, p)) == pytest.approx(
+            np.linalg.norm(p), rel=1e-12
+        )
+
+    def test_apply_rotation_batch(self):
+        R = rotation_to_axis(np.array([0.0, 0.0, 1.0]))
+        pts = np.random.default_rng(0).normal(size=(10, 3))
+        out = apply_rotation(R, pts)
+        assert out.shape == (10, 3)
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(pts, axis=1), rtol=1e-12
+        )

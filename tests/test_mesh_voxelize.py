@@ -1,0 +1,99 @@
+"""Mesh extraction and the two voxelization paths."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.solids.mesh import extract_mesh, mesh_stats
+from repro.solids.models import head_model
+from repro.solids.sdf import BoxSDF, SphereSDF
+from repro.solids.voxelize import grid_centers, voxelize_mesh, voxelize_sdf
+
+DOMAIN = AABB((-10, -10, -10), (10, 10, 10))
+
+
+class TestGridCenters:
+    def test_shape_and_spacing(self):
+        g = grid_centers(DOMAIN, 4)
+        assert g.shape == (4, 4, 4, 3)
+        # first center is half a cell from the corner
+        np.testing.assert_allclose(g[0, 0, 0], [-7.5, -7.5, -7.5])
+        np.testing.assert_allclose(g[-1, -1, -1], [7.5, 7.5, 7.5])
+
+    def test_slab_slicing(self):
+        g_all = grid_centers(DOMAIN, 8)
+        g_sl = grid_centers(DOMAIN, 8, slice(2, 5))
+        np.testing.assert_allclose(g_sl, g_all[2:5])
+
+
+class TestVoxelizeSdf:
+    def test_sphere_volume(self):
+        g = voxelize_sdf(SphereSDF((0, 0, 0), 6.0), DOMAIN, 64)
+        vol = g.sum() * (20 / 64) ** 3
+        assert vol == pytest.approx(4 / 3 * np.pi * 6**3, rel=0.02)
+
+    def test_center_sampling_semantics(self):
+        # a box aligned exactly to cell boundaries fills exactly its cells
+        g = voxelize_sdf(BoxSDF((0, 0, 0), (5.0, 5.0, 5.0)), DOMAIN, 8)
+        assert g.sum() == 4 * 4 * 4
+
+    def test_slab_invariance(self):
+        s = SphereSDF((1, 2, 3), 5.0)
+        a = voxelize_sdf(s, DOMAIN, 32, slab=4)
+        b = voxelize_sdf(s, DOMAIN, 32, slab=64)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestExtractMesh:
+    def test_sphere_mesh_closed_and_sized(self):
+        V, F = extract_mesh(SphereSDF((0, 0, 0), 6.0), DOMAIN, 32)
+        stats = mesh_stats(V, F)
+        assert stats["triangles"] > 500
+        # surface area close to a sphere's
+        assert stats["surface_area"] == pytest.approx(4 * np.pi * 36, rel=0.15)
+        # closed 2-manifold: every edge appears exactly twice
+        edges = {}
+        for tri in F:
+            for a, b in ((tri[0], tri[1]), (tri[1], tri[2]), (tri[2], tri[0])):
+                key = (min(a, b), max(a, b))
+                edges[key] = edges.get(key, 0) + 1
+        counts = set(edges.values())
+        assert counts == {2}, f"non-manifold edge counts: {counts}"
+
+    def test_vertices_near_surface(self):
+        s = SphereSDF((0, 0, 0), 6.0)
+        V, _ = extract_mesh(s, DOMAIN, 32)
+        # surface-net vertices sit within a cell of the true surface
+        assert np.abs(s.value(V)).max() < 2 * (20 / 32)
+
+    def test_empty_solid(self):
+        V, F = extract_mesh(SphereSDF((100, 100, 100), 1.0), DOMAIN, 16)
+        assert len(V) == 0 and len(F) == 0
+
+
+class TestVoxelizeMesh:
+    def test_sphere_roundtrip(self):
+        s = SphereSDF((0.3, -0.2, 0.1), 6.0)
+        V, F = extract_mesh(s, DOMAIN, 48)
+        gm = voxelize_mesh(V, F, DOMAIN, 32)
+        gs = voxelize_sdf(s, DOMAIN, 32)
+        agree = (gm == gs).mean()
+        assert agree > 0.985, f"mesh/sdf voxel agreement {agree}"
+
+    def test_head_roundtrip(self):
+        m = head_model()
+        V, F = extract_mesh(m.sdf, m.domain, 48)
+        gm = voxelize_mesh(V, F, m.domain, 32)
+        gs = voxelize_sdf(m.sdf, m.domain, 32)
+        assert (gm == gs).mean() > 0.97
+
+    def test_rejects_bad_faces(self):
+        with pytest.raises(ValueError):
+            voxelize_mesh(np.zeros((3, 3)), np.zeros((2, 4), dtype=int), DOMAIN, 8)
+
+    def test_column_chunk_invariance(self):
+        s = SphereSDF((0, 0, 0), 6.0)
+        V, F = extract_mesh(s, DOMAIN, 24)
+        a = voxelize_mesh(V, F, DOMAIN, 16, column_chunk=7)
+        b = voxelize_mesh(V, F, DOMAIN, 16, column_chunk=100000)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,91 @@
+"""Mesh file I/O roundtrips."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.solids.mesh import extract_mesh
+from repro.solids.meshio import load_obj, mesh_bounds, save_obj, save_stl
+from repro.solids.sdf import SphereSDF
+
+
+@pytest.fixture(scope="module")
+def sphere_mesh():
+    dom = AABB((-10, -10, -10), (10, 10, 10))
+    return extract_mesh(SphereSDF((0, 0, 0), 6.0), dom, 16)
+
+
+class TestObj:
+    def test_roundtrip_exact(self, sphere_mesh, tmp_path):
+        V, F = sphere_mesh
+        p = tmp_path / "m.obj"
+        save_obj(p, V, F)
+        V2, F2 = load_obj(p)
+        np.testing.assert_array_equal(V, V2)
+        np.testing.assert_array_equal(F, F2)
+
+    def test_load_with_slashes_and_quads(self, tmp_path):
+        p = tmp_path / "q.obj"
+        p.write_text(
+            "v 0 0 0\nv 1 0 0\nv 1 1 0\nv 0 1 0\n"
+            "f 1/1/1 2/2/2 3/3/3 4/4/4\n"
+        )
+        V, F = load_obj(p)
+        assert V.shape == (4, 3)
+        # quad fan-triangulated into two triangles
+        np.testing.assert_array_equal(F, [[0, 1, 2], [0, 2, 3]])
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_obj(tmp_path / "x.obj", np.zeros((2, 3)), np.array([[0, 1, 5]]))
+        with pytest.raises(ValueError):
+            save_obj(tmp_path / "x.obj", np.zeros((2, 2)), np.zeros((0, 3), int))
+
+
+class TestStl:
+    def test_stl_structure(self, sphere_mesh, tmp_path):
+        V, F = sphere_mesh
+        p = tmp_path / "m.stl"
+        save_stl(p, V, F, name="ball")
+        text = p.read_text()
+        assert text.startswith("solid ball")
+        assert text.rstrip().endswith("endsolid ball")
+        assert text.count("facet normal") == len(F)
+        assert text.count("vertex") == 3 * len(F)
+
+    def test_normals_unit(self, sphere_mesh, tmp_path):
+        V, F = sphere_mesh
+        p = tmp_path / "m.stl"
+        save_stl(p, V, F)
+        for line in p.read_text().splitlines():
+            if line.strip().startswith("facet normal"):
+                n = np.array([float(x) for x in line.split()[2:]])
+                assert np.linalg.norm(n) == pytest.approx(1.0, abs=1e-6)
+                break
+
+    def test_empty_mesh(self, tmp_path):
+        p = tmp_path / "e.stl"
+        save_stl(p, np.zeros((0, 3)), np.zeros((0, 3), int))
+        assert "endsolid" in p.read_text()
+
+
+class TestPipelineViaDisk:
+    def test_obj_to_voxels(self, sphere_mesh, tmp_path):
+        """Export -> import -> voxelize must match direct voxelization."""
+        from repro.solids.voxelize import voxelize_mesh
+
+        V, F = sphere_mesh
+        dom = AABB((-10, -10, -10), (10, 10, 10))
+        p = tmp_path / "m.obj"
+        save_obj(p, V, F)
+        V2, F2 = load_obj(p)
+        a = voxelize_mesh(V, F, dom, 16)
+        b = voxelize_mesh(V2, F2, dom, 16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mesh_bounds(self, sphere_mesh):
+        V, _ = sphere_mesh
+        lo, hi = mesh_bounds(V)
+        assert (lo >= -6.8).all() and (hi <= 6.8).all()
+        lo0, hi0 = mesh_bounds(np.zeros((0, 3)))
+        assert (lo0 == 0).all() and (hi0 == 0).all()

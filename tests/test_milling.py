@@ -1,0 +1,132 @@
+"""Milling simulation: stock removal, gouge guarantee, planner loop."""
+
+import numpy as np
+import pytest
+
+from repro.cd import AICA
+from repro.geometry.aabb import AABB
+from repro.geometry.orientation import OrientationGrid
+from repro.milling.planner import GreedyRougher
+from repro.milling.stock import VoxelStock
+from repro.octree.build import build_from_sdf, expand_top
+from repro.solids.sdf import SphereSDF
+from repro.solids.voxelize import voxelize_sdf
+from repro.tool.tool import Tool, ball_end_mill
+
+DOMAIN = AABB((-20, -20, -20), (20, 20, 20))
+
+
+@pytest.fixture()
+def sphere_setup():
+    sdf = SphereSDF((0, 0, 0), 10.0)
+    res = 32
+    target = voxelize_sdf(sdf, DOMAIN, res)
+    tree = expand_top(build_from_sdf(sdf, DOMAIN, res), 5)
+    stock = VoxelStock.block_around(DOMAIN, res, target)
+    return tree, target, stock
+
+
+class TestVoxelStock:
+    def test_block_starts_full(self, sphere_setup):
+        _, target, stock = sphere_setup
+        assert stock.remaining_cells() == 32**3
+        assert stock.completion() == 0.0
+
+    def test_cut_removes_local_cells(self, sphere_setup):
+        _, _, stock = sphere_setup
+        tool = ball_end_mill(radius=2.0, flute=10.0, shank=20.0)
+        before = stock.remaining_cells()
+        removed = stock.cut(tool, np.array([0.0, 0.0, 15.0]), np.array([0.0, 0.0, 1.0]))
+        assert removed > 0
+        assert stock.remaining_cells() == before - removed
+
+    def test_cut_never_removes_target(self, sphere_setup):
+        _, target, stock = sphere_setup
+        tool = ball_end_mill(radius=2.0)
+        # Deliberately plunge straight through the part.
+        stock.cut(tool, np.array([0.0, 0.0, -18.0]), np.array([0.0, 0.0, 1.0]))
+        assert (stock.grid & target).sum() == target.sum()
+        assert stock.gouged_cells > 0  # the violation is *recorded*
+
+    def test_cut_outside_domain_noop(self, sphere_setup):
+        _, _, stock = sphere_setup
+        tool = ball_end_mill(radius=1.0, flute=5.0, shank=5.0)
+        removed = stock.cut(tool, np.array([100.0, 0.0, 0.0]), np.array([0.0, 0.0, 1.0]))
+        assert removed == 0
+
+    def test_cut_idempotent(self, sphere_setup):
+        _, _, stock = sphere_setup
+        tool = ball_end_mill(radius=2.0)
+        pose = (np.array([0.0, 0.0, 15.0]), np.array([0.0, 0.0, 1.0]))
+        stock.cut(tool, *pose)
+        assert stock.cut(tool, *pose) == 0
+
+    def test_completion_monotone(self, sphere_setup):
+        _, _, stock = sphere_setup
+        tool = ball_end_mill(radius=3.0, flute=15.0, shank=30.0)
+        rng = np.random.default_rng(0)
+        last = stock.completion()
+        for _ in range(5):
+            p = rng.uniform(-15, 15, 3)
+            p[2] = 14.0
+            stock.cut(tool, p, np.array([0.0, 0.0, 1.0]))
+            now = stock.completion()
+            assert now >= last
+            last = now
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VoxelStock(AABB((0, 0, 0), (1, 2, 1)), np.ones((4, 4, 4), bool))
+        with pytest.raises(ValueError):
+            VoxelStock(DOMAIN, np.ones((4, 4), bool))
+        with pytest.raises(ValueError):
+            VoxelStock(DOMAIN, np.ones((4, 4, 4), bool), target=np.ones((2, 2, 2), bool))
+
+
+class TestGreedyRougher:
+    def test_roughing_pass_no_gouges(self, sphere_setup):
+        """The central guarantee: accessible orientations never gouge."""
+        tree, _, stock = sphere_setup
+        tool = Tool.from_segments([(1.5, 12.0), (2.5, 40.0)], name="finisher")
+        rougher = GreedyRougher(
+            tree, tool, OrientationGrid.square(10), AICA(), safety_steps=0
+        )
+        # pivots on a ring 1mm above the sphere surface
+        ang = np.linspace(0, 2 * np.pi, 8, endpoint=False)
+        pivots = np.stack(
+            [11.0 * np.cos(ang), 11.0 * np.sin(ang), np.zeros_like(ang)], axis=-1
+        )
+        report = rougher.run(stock, pivots)
+        assert report.points_total == 8
+        assert report.points_cut > 0
+        assert report.gouged_cells == 0
+        assert report.cells_removed > 0
+        assert 0.0 < report.completion <= 1.0
+
+    def test_plan_point_none_when_blocked(self, sphere_setup):
+        tree, _, _ = sphere_setup
+        tool = ball_end_mill()
+        rougher = GreedyRougher(tree, tool, OrientationGrid.square(6), AICA())
+        # pivot deep inside the part: nothing is accessible
+        assert rougher.plan_point(np.zeros(3)) is None
+
+    def test_safety_margin_reduces_choices(self, sphere_setup):
+        tree, _, _ = sphere_setup
+        tool = Tool.from_segments([(1.5, 12.0), (2.5, 40.0)])
+        pivot = np.array([0.0, 0.0, 11.5])
+        loose = GreedyRougher(tree, tool, OrientationGrid.square(10), AICA(), safety_steps=0)
+        tight = GreedyRougher(tree, tool, OrientationGrid.square(10), AICA(), safety_steps=2)
+        a = loose.plan_point(pivot)
+        b = tight.plan_point(pivot)
+        assert a is not None
+        # the tight margin may refuse or pick a (deeper) orientation
+        if b is not None:
+            assert isinstance(b[0], float)
+
+    def test_report_summary_text(self, sphere_setup):
+        tree, _, stock = sphere_setup
+        tool = Tool.from_segments([(1.5, 12.0), (2.5, 40.0)])
+        rougher = GreedyRougher(tree, tool, OrientationGrid.square(8), AICA())
+        report = rougher.run(stock, np.array([[0.0, 0.0, 11.5]]))
+        text = report.summary()
+        assert "completion" in text and "gouges" in text

@@ -1,0 +1,98 @@
+"""The four benchmark analogues: dimensions, structure, metadata."""
+
+import numpy as np
+import pytest
+
+from repro.solids.models import (
+    PAPER_RESOLUTIONS,
+    benchmark_models,
+    candle_holder_model,
+    head_model,
+    teapot_model,
+    turbine_model,
+)
+from repro.solids.voxelize import voxelize_sdf
+
+
+@pytest.fixture(scope="module", params=["head", "candle_holder", "turbine", "teapot"])
+def model(request):
+    return {m.name: m for m in benchmark_models()}[request.param]
+
+
+class TestModelBasics:
+    def test_four_models_in_order(self):
+        names = [m.name for m in benchmark_models()]
+        assert names == ["head", "candle_holder", "turbine", "teapot"]
+
+    def test_domain_is_cube_enclosing_dims(self, model):
+        size = model.domain.size
+        assert np.allclose(size, size[0])
+        assert size[0] >= max(model.dims)
+
+    def test_cell_size(self, model):
+        assert model.cell_size(256) == pytest.approx(model.domain_edge / 256)
+
+    def test_paper_metadata_complete(self, model):
+        for key in ("triangles", "bounding_volume", "layers", "voxels_m", "path_points_k"):
+            assert key in model.paper
+        for res in PAPER_RESOLUTIONS:
+            assert res in model.paper["voxels_m"]
+
+    def test_solid_nonempty_and_bounded(self, model):
+        g = voxelize_sdf(model.sdf, model.domain, 32)
+        assert g.any(), "model should have solid voxels"
+        assert not g.all(), "model should not fill the domain"
+        # nothing touches the domain boundary (margin exists)
+        assert not g[0].any() and not g[-1].any()
+        assert not g[:, 0].any() and not g[:, -1].any()
+        assert not g[:, :, 0].any() and not g[:, :, -1].any()
+
+    def test_measured_dims_close_to_paper(self, model):
+        g = voxelize_sdf(model.sdf, model.domain, 64)
+        cell = model.domain_edge / 64
+        zz, yy, xx = np.nonzero(g)
+        meas = np.array(
+            [
+                (xx.max() - xx.min() + 1) * cell,
+                (yy.max() - yy.min() + 1) * cell,
+                (zz.max() - zz.min() + 1) * cell,
+            ]
+        )
+        # within 20% of the paper dims on each axis (analogues, not meshes)
+        assert np.all(meas > 0.6 * np.asarray(model.dims))
+        assert np.all(meas < 1.25 * np.asarray(model.dims))
+
+
+class TestModelStructure:
+    def test_head_has_eye_concavity(self):
+        m = head_model()
+        # the eye socket center is carved out of the skull
+        assert not m.sdf.contains(np.array([-8.0, -19.5, 12.0]))
+
+    def test_candle_holder_cup_is_hollow(self):
+        m = candle_holder_model()
+        assert not m.sdf.contains(np.array([0.0, 0.0, 24.0]))  # inside the cavity
+        assert m.sdf.contains(np.array([12.5, 0.0, 24.0]))  # the cup wall
+
+    def test_turbine_blade_count(self):
+        m = turbine_model(n_blades=9)
+        # sample a ring through the blades; count angular solid runs
+        ang = np.linspace(0, 2 * np.pi, 3600, endpoint=False)
+        ring = np.stack([15 * np.cos(ang), 15 * np.sin(ang), np.zeros_like(ang)], -1)
+        inside = m.sdf.contains(ring)
+        runs = int(((~inside[:-1]) & inside[1:]).sum() + (inside[0] and not inside[-1]))
+        assert runs == 9
+
+    def test_turbine_bore_through(self):
+        m = turbine_model()
+        assert not m.sdf.contains(np.array([0.0, 0.0, 0.0]))
+
+    def test_teapot_handle_hole(self):
+        m = teapot_model()
+        # the center of the handle loop is empty, the tube is solid
+        assert not m.sdf.contains(np.array([-14.7, 0.0, 1.0]))
+        assert m.sdf.contains(np.array([-14.7, 0.0, 1.0 + 6.5]))
+
+    def test_teapot_spout_tip(self):
+        m = teapot_model()
+        assert m.sdf.contains(np.array([20.4, 0.0, 5.0]))

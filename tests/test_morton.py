@@ -1,0 +1,69 @@
+"""Morton-code properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.octree.morton import MAX_BITS, morton_decode, morton_encode
+
+coords = arrays(
+    np.uint64, st.integers(1, 50), elements=st.integers(0, (1 << MAX_BITS) - 1)
+)
+
+
+class TestMorton:
+    @given(coords)
+    def test_roundtrip(self, i):
+        j = (i * 7 + 3) % (1 << MAX_BITS)
+        k = (i * 13 + 11) % (1 << MAX_BITS)
+        code = morton_encode(i, j, k)
+        i2, j2, k2 = morton_decode(code)
+        np.testing.assert_array_equal(i2.astype(np.uint64), i)
+        np.testing.assert_array_equal(j2.astype(np.uint64), j)
+        np.testing.assert_array_equal(k2.astype(np.uint64), k)
+
+    def test_child_octant_is_low_bits(self):
+        """Code low 3 bits = octant index matching AABB.octant bit order."""
+        for k in range(8):
+            code = morton_encode(
+                np.array([k & 1]), np.array([(k >> 1) & 1]), np.array([(k >> 2) & 1])
+            )
+            assert int(code[0]) == k
+
+    def test_children_contiguous(self):
+        """Children codes of parent c are exactly [8c, 8c+8)."""
+        parent = morton_encode(np.array([3]), np.array([5]), np.array([2]))[0]
+        kids = []
+        for dz in (0, 1):
+            for dy in (0, 1):
+                for dx in (0, 1):
+                    kids.append(
+                        int(
+                            morton_encode(
+                                np.array([6 + dx]), np.array([10 + dy]), np.array([4 + dz])
+                            )[0]
+                        )
+                    )
+        assert sorted(kids) == list(range(int(parent) * 8, int(parent) * 8 + 8))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([-1]), np.array([0]), np.array([0]))
+
+    def test_rejects_too_large(self):
+        with pytest.raises(ValueError):
+            morton_encode(np.array([1 << MAX_BITS]), np.array([0]), np.array([0]))
+
+    def test_monotone_within_axis(self):
+        """Along one axis the code is strictly increasing."""
+        i = np.arange(100, dtype=np.uint64)
+        codes = morton_encode(i, np.zeros_like(i), np.zeros_like(i))
+        assert (np.diff(codes.astype(np.int64)) > 0).all()
+
+    def test_max_coordinate(self):
+        m = np.array([(1 << MAX_BITS) - 1], dtype=np.uint64)
+        code = morton_encode(m, m, m)
+        i, j, k = morton_decode(code)
+        assert i[0] == j[0] == k[0] == (1 << MAX_BITS) - 1

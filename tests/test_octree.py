@@ -1,0 +1,194 @@
+"""Linear octree: construction equivalence, queries, statistics, expansion."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.octree.build import (
+    build_from_dense,
+    build_from_sdf,
+    depth_for_resolution,
+    expand_top,
+)
+from repro.octree.linear import STATUS_FULL, STATUS_MIXED, LinearOctree, OctreeLevel
+from repro.octree.stats import octree_stats
+from repro.solids.models import benchmark_models
+from repro.solids.sdf import BoxSDF, SphereSDF
+from repro.solids.voxelize import voxelize_sdf
+
+DOMAIN = AABB((-16, -16, -16), (16, 16, 16))
+SPHERE = SphereSDF((1.0, -2.0, 0.5), 9.0)
+
+
+@pytest.fixture(scope="module")
+def sphere_tree():
+    return build_from_sdf(SPHERE, DOMAIN, 32)
+
+
+class TestDepthForResolution:
+    def test_powers_of_two(self):
+        assert depth_for_resolution(1) == 0
+        assert depth_for_resolution(64) == 6
+        assert depth_for_resolution(2048) == 11
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            depth_for_resolution(48)
+
+
+class TestConstructionEquivalence:
+    @pytest.mark.parametrize("res", [8, 16, 32])
+    def test_sdf_equals_dense_sphere(self, res):
+        a = build_from_sdf(SPHERE, DOMAIN, res)
+        b = build_from_dense(voxelize_sdf(SPHERE, DOMAIN, res), DOMAIN)
+        for la, lb in zip(a.levels, b.levels):
+            np.testing.assert_array_equal(la.codes, lb.codes)
+            np.testing.assert_array_equal(la.status, lb.status)
+
+    @pytest.mark.parametrize("name", ["head", "candle_holder", "turbine", "teapot"])
+    def test_sdf_equals_dense_benchmarks(self, name):
+        m = {x.name: x for x in benchmark_models()}[name]
+        a = build_from_sdf(m.sdf, m.domain, 32)
+        b = build_from_dense(voxelize_sdf(m.sdf, m.domain, 32), m.domain)
+        for la, lb in zip(a.levels, b.levels):
+            np.testing.assert_array_equal(la.codes, lb.codes)
+            np.testing.assert_array_equal(la.status, lb.status)
+
+    def test_leaf_occupancy_roundtrip(self, sphere_tree):
+        grid = voxelize_sdf(SPHERE, DOMAIN, 32)
+        np.testing.assert_array_equal(sphere_tree.leaf_occupancy(), grid)
+
+    def test_full_domain_collapses_to_root(self):
+        grid = np.ones((8, 8, 8), dtype=bool)
+        t = build_from_dense(grid, DOMAIN)
+        assert t.levels[0].n == 1
+        assert t.levels[0].status[0] == STATUS_FULL
+        assert all(lev.n == 0 for lev in t.levels[1:])
+
+    def test_empty_domain(self):
+        t = build_from_dense(np.zeros((8, 8, 8), dtype=bool), DOMAIN)
+        assert t.total_nodes == 0
+
+
+class TestInvariants:
+    def test_mixed_nodes_have_children(self, sphere_tree):
+        for l, lev in enumerate(sphere_tree.levels):
+            mixed = lev.status == STATUS_MIXED
+            assert (lev.child_count[mixed] > 0).all()
+
+    def test_full_nodes_have_no_stored_children(self, sphere_tree):
+        for lev in sphere_tree.levels:
+            full = lev.status == STATUS_FULL
+            assert (lev.child_count[full] == 0).all()
+
+    def test_no_eight_full_sibling_groups(self, sphere_tree):
+        """Canonical form: 8 FULL siblings would have merged upward."""
+        for l in range(1, sphere_tree.depth + 1):
+            lev = sphere_tree.levels[l]
+            full = lev.status == STATUS_FULL
+            parents, counts = np.unique(
+                lev.codes[full] >> np.uint64(3), return_counts=True
+            )
+            assert (counts < 8).all()
+
+    def test_codes_strictly_increasing(self, sphere_tree):
+        for lev in sphere_tree.levels:
+            if lev.n > 1:
+                assert (np.diff(lev.codes.astype(np.int64)) > 0).all()
+
+    def test_children_within_parent_box(self, sphere_tree):
+        t = sphere_tree
+        for l in range(t.depth):
+            lev = t.levels[l]
+            for i in np.nonzero(lev.status == STATUS_MIXED)[0][:20]:
+                pbox = t.cell_box(l, int(i))
+                for c in range(lev.child_start[i], lev.child_start[i] + lev.child_count[i]):
+                    cbox = t.cell_box(l + 1, int(c))
+                    assert pbox.contains(cbox.center)
+
+    def test_solid_volume_matches_dense(self, sphere_tree):
+        grid = voxelize_sdf(SPHERE, DOMAIN, 32)
+        cell = 32.0 / 32
+        assert sphere_tree.solid_volume() == pytest.approx(grid.sum() * cell**3, rel=1e-12)
+
+    def test_contains_points_matches_leaves(self, sphere_tree, rng):
+        pts = rng.uniform(-16, 16, (500, 3))
+        got = sphere_tree.contains_points(pts)
+        grid = voxelize_sdf(SPHERE, DOMAIN, 32)
+        cell = 32.0 / 32
+        ijk = np.clip(((pts + 16.0) / cell).astype(int), 0, 31)
+        exp = grid[ijk[:, 2], ijk[:, 1], ijk[:, 0]]
+        np.testing.assert_array_equal(got, exp)
+
+    def test_points_outside_domain_empty(self, sphere_tree):
+        assert not sphere_tree.contains_points(np.array([[100.0, 0, 0]])).any()
+
+
+class TestValidation:
+    def test_non_cubic_domain_rejected(self):
+        with pytest.raises(ValueError):
+            LinearOctree(AABB((0, 0, 0), (1, 2, 1)), 0, [])
+
+    def test_level_count_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearOctree(DOMAIN, 2, [])
+
+    def test_level_array_mismatch(self):
+        with pytest.raises(ValueError):
+            OctreeLevel(
+                codes=np.zeros(2, np.uint64),
+                status=np.zeros(1, np.uint8),
+                child_start=np.zeros(2, np.intp),
+                child_count=np.zeros(2, np.int8),
+            )
+
+
+class TestExpandTop:
+    def test_preserves_occupancy(self, sphere_tree):
+        for start in (2, 3, 5):
+            e = expand_top(sphere_tree, start)
+            np.testing.assert_array_equal(
+                e.leaf_occupancy(), sphere_tree.leaf_occupancy()
+            )
+
+    def test_no_full_above_base(self, sphere_tree):
+        e = expand_top(sphere_tree, 4)
+        for l in range(4):
+            assert not (e.levels[l].status == STATUS_FULL).any()
+
+    def test_base_level_covers_solid(self):
+        # one big solid box -> after expansion the base level holds the
+        # cells tiling it
+        t = build_from_dense(np.ones((16, 16, 16), dtype=bool), DOMAIN)
+        e = expand_top(t, 2)
+        assert e.levels[2].n == 64
+        assert (e.levels[2].status == STATUS_FULL).all()
+
+    def test_start_beyond_depth_clamped(self, sphere_tree):
+        e = expand_top(sphere_tree, 99)
+        np.testing.assert_array_equal(e.leaf_occupancy(), sphere_tree.leaf_occupancy())
+
+    def test_zero_is_identity(self, sphere_tree):
+        assert expand_top(sphere_tree, 0) is sphere_tree
+
+
+class TestStats:
+    def test_stats_fields(self, sphere_tree):
+        s = octree_stats(sphere_tree)
+        assert s["resolution"] == 32
+        assert s["total_nodes"] == sphere_tree.total_nodes
+        assert s["full_nodes"] + s["mixed_nodes"] == s["total_nodes"]
+        assert s["layers"] >= 1
+        assert len(s["level_counts"]) == sphere_tree.depth + 1
+
+    def test_node_counts_grow_with_resolution(self):
+        n16 = build_from_sdf(SPHERE, DOMAIN, 16).total_nodes
+        n32 = build_from_sdf(SPHERE, DOMAIN, 32).total_nodes
+        assert n32 > 2 * n16  # surface-dominated growth ~4x
+
+    def test_box_aligned_is_compact(self):
+        """An axis-aligned box aligned to cells needs few nodes."""
+        t = build_from_sdf(BoxSDF((0, 0, 0), (8.0, 8.0, 8.0)), DOMAIN, 32)
+        # [-8,8]^3 tiles exactly 8 level-2 cells: root + 8 MIXED level-1
+        # parents + 8 FULL level-2 cells = 17 nodes, out of 32^3 leaves.
+        assert t.total_nodes == 17

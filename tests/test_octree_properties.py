@@ -1,0 +1,127 @@
+"""Hypothesis property tests: octrees over arbitrary occupancy grids.
+
+The benchmark-model tests exercise realistic solids; these push the
+construction, canonicalization, expansion, and query code through
+adversarial random occupancy patterns (including degenerate all-empty,
+all-full, single-voxel, and checkerboard grids).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.octree.build import build_from_dense, expand_top
+from repro.octree.linear import STATUS_FULL, STATUS_MIXED
+
+DOMAIN = AABB((-8, -8, -8), (8, 8, 8))
+
+
+@st.composite
+def occupancy_grid(draw):
+    depth = draw(st.integers(1, 3))
+    k = 1 << depth
+    flat = draw(
+        st.lists(st.booleans(), min_size=k**3, max_size=k**3)
+    )
+    return np.array(flat, dtype=bool).reshape(k, k, k)
+
+
+@st.composite
+def structured_grid(draw):
+    """Grids with spatial structure (random boxes), closer to real solids."""
+    depth = draw(st.integers(2, 4))
+    k = 1 << depth
+    g = np.zeros((k, k, k), dtype=bool)
+    for _ in range(draw(st.integers(0, 4))):
+        lo = [draw(st.integers(0, k - 1)) for _ in range(3)]
+        hi = [draw(st.integers(lo[a], k - 1)) for a in range(3)]
+        g[lo[0] : hi[0] + 1, lo[1] : hi[1] + 1, lo[2] : hi[2] + 1] = True
+    return g
+
+
+class TestDenseRoundtrip:
+    @given(occupancy_grid())
+    @settings(max_examples=60)
+    def test_leaf_occupancy_identity(self, grid):
+        tree = build_from_dense(grid, DOMAIN)
+        np.testing.assert_array_equal(tree.leaf_occupancy(), grid)
+
+    @given(structured_grid())
+    @settings(max_examples=40)
+    def test_leaf_occupancy_identity_structured(self, grid):
+        tree = build_from_dense(grid, DOMAIN)
+        np.testing.assert_array_equal(tree.leaf_occupancy(), grid)
+
+    @given(occupancy_grid())
+    @settings(max_examples=40)
+    def test_canonical_invariants(self, grid):
+        tree = build_from_dense(grid, DOMAIN)
+        for l, lev in enumerate(tree.levels):
+            # MIXED => has children; FULL => no stored children
+            mixed = lev.status == STATUS_MIXED
+            full = lev.status == STATUS_FULL
+            assert (lev.child_count[mixed] > 0).all()
+            assert (lev.child_count[full] == 0).all()
+            # codes strictly increasing
+            if lev.n > 1:
+                assert (np.diff(lev.codes.astype(np.int64)) > 0).all()
+            # no 8-FULL sibling group below the root
+            if l > 0 and full.any():
+                _, counts = np.unique(lev.codes[full] >> np.uint64(3), return_counts=True)
+                assert (counts < 8).all()
+
+    @given(occupancy_grid())
+    @settings(max_examples=40)
+    def test_solid_volume_matches(self, grid):
+        tree = build_from_dense(grid, DOMAIN)
+        cell = 16.0 / grid.shape[0]
+        assert tree.solid_volume() == pytest.approx(grid.sum() * cell**3, rel=1e-12)
+
+    @given(structured_grid(), st.integers(0, 3))
+    @settings(max_examples=40)
+    def test_expand_top_preserves_everything(self, grid, start):
+        tree = build_from_dense(grid, DOMAIN)
+        e = expand_top(tree, start)
+        np.testing.assert_array_equal(e.leaf_occupancy(), grid)
+        assert e.solid_volume() == pytest.approx(tree.solid_volume(), rel=1e-12)
+
+    @given(structured_grid())
+    @settings(max_examples=30)
+    def test_contains_points_matches_grid(self, grid):
+        tree = build_from_dense(grid, DOMAIN)
+        k = grid.shape[0]
+        cell = 16.0 / k
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(-8, 8, (200, 3)) * 0.999
+        ijk = np.clip(((pts + 8.0) / cell).astype(int), 0, k - 1)
+        exp = grid[ijk[:, 2], ijk[:, 1], ijk[:, 0]]
+        np.testing.assert_array_equal(tree.contains_points(pts), exp)
+
+
+class TestDegenerateGrids:
+    def test_single_voxel(self):
+        g = np.zeros((8, 8, 8), dtype=bool)
+        g[3, 5, 1] = True
+        tree = build_from_dense(g, DOMAIN)
+        np.testing.assert_array_equal(tree.leaf_occupancy(), g)
+        assert tree.count_status(STATUS_FULL) == 1
+
+    def test_checkerboard_never_merges(self):
+        k = 8
+        z, y, x = np.indices((k, k, k))
+        g = ((x + y + z) % 2).astype(bool)
+        tree = build_from_dense(g, DOMAIN)
+        # every FULL node must be a leaf (no uniform 2x2x2 block exists)
+        for l in range(tree.depth):
+            assert not (tree.levels[l].status == STATUS_FULL).any()
+        np.testing.assert_array_equal(tree.leaf_occupancy(), g)
+
+    def test_half_full(self):
+        g = np.zeros((8, 8, 8), dtype=bool)
+        g[:, :, :4] = True
+        tree = build_from_dense(g, DOMAIN)
+        np.testing.assert_array_equal(tree.leaf_occupancy(), g)
+        # the solid half merges into 4 level-1 FULL nodes
+        assert int((tree.levels[1].status == STATUS_FULL).sum()) == 4

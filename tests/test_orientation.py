@@ -1,0 +1,80 @@
+"""Unit tests for polar orientation grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.orientation import (
+    OrientationGrid,
+    angles_from_direction,
+    direction_from_angles,
+)
+
+
+class TestDirectionFromAngles:
+    @given(st.floats(0, np.pi), st.floats(0, 2 * np.pi))
+    def test_unit_length(self, phi, gamma):
+        d = direction_from_angles(phi, gamma)
+        assert np.linalg.norm(d) == pytest.approx(1.0, abs=1e-12)
+
+    def test_poles(self):
+        np.testing.assert_allclose(direction_from_angles(0.0, 1.23), [0, 0, 1], atol=1e-12)
+        np.testing.assert_allclose(
+            direction_from_angles(np.pi, 4.56), [0, 0, -1], atol=1e-12
+        )
+
+    @given(st.floats(1e-3, np.pi - 1e-3), st.floats(1e-6, 2 * np.pi - 1e-6))
+    def test_roundtrip(self, phi, gamma):
+        d = direction_from_angles(phi, gamma)
+        p2, g2 = angles_from_direction(d)
+        assert p2 == pytest.approx(phi, abs=1e-9)
+        assert g2 == pytest.approx(gamma, abs=1e-9)
+
+    def test_broadcast(self):
+        d = direction_from_angles(np.linspace(0.1, 3.0, 5)[:, None], np.zeros((1, 7)))
+        assert d.shape == (5, 7, 3)
+
+
+class TestOrientationGrid:
+    def test_square_constructor(self):
+        g = OrientationGrid.square(16)
+        assert g.shape == (16, 16)
+        assert g.size == 256
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OrientationGrid(0, 4)
+
+    def test_cell_centers_avoid_singularities(self):
+        g = OrientationGrid(8, 8)
+        assert g.phis().min() > 0.0
+        assert g.phis().max() < np.pi
+
+    def test_directions_shape_and_unit(self):
+        g = OrientationGrid(5, 9)
+        d = g.directions()
+        assert d.shape == (45, 3)
+        np.testing.assert_allclose(np.linalg.norm(d, axis=1), 1.0, atol=1e-12)
+
+    def test_directions_row_major(self):
+        """Thread t = i*n + j must map to (phi_i, gamma_j)."""
+        g = OrientationGrid(4, 6)
+        d = g.directions()
+        expected = direction_from_angles(g.phis()[2], g.gammas()[3])
+        np.testing.assert_allclose(d[2 * 6 + 3], expected, atol=1e-14)
+
+    def test_unflatten_roundtrip(self):
+        g = OrientationGrid(3, 7)
+        vals = np.arange(21)
+        m = g.unflatten(vals)
+        assert m.shape == (3, 7)
+        assert m[1, 2] == 1 * 7 + 2
+
+    def test_unflatten_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            OrientationGrid(3, 3).unflatten(np.zeros(8))
+
+    def test_directions_cover_hemispheres(self):
+        d = OrientationGrid.square(16).directions()
+        assert (d[:, 2] > 0).any() and (d[:, 2] < 0).any()

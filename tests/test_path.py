@@ -1,0 +1,78 @@
+"""Offset-path generation and pivot sampling."""
+
+import numpy as np
+import pytest
+
+from repro.path.offset import offset_path, offset_point
+from repro.path.sampling import sample_pivots
+from repro.solids.models import head_model, turbine_model
+
+
+@pytest.fixture(scope="module")
+def head_path():
+    return offset_path(head_model(), 32)
+
+
+class TestOffsetPath:
+    def test_all_points_outside(self, head_path):
+        m = head_model()
+        assert (m.sdf.value(head_path) > 0).all()
+
+    def test_points_near_surface(self, head_path):
+        """Each pivot should be within a few mm of the surface (1 mm target,
+        ray obliquity can stretch it)."""
+        m = head_model()
+        vals = m.sdf.value(head_path)
+        # value is sign-exact, and for the head's primitives near-metric
+        assert np.median(vals) < 3.0
+        assert vals.min() > 0.0
+
+    def test_count_scales_with_resolution(self):
+        m = head_model()
+        n32 = len(offset_path(m, 32))
+        n64 = len(offset_path(m, 64))
+        assert n64 == pytest.approx(2 * n32, rel=0.1)
+
+    def test_slices_span_height(self, head_path):
+        zs = np.unique(np.round(head_path[:, 2], 6))
+        assert len(zs) >= 4
+
+    def test_turbine_path(self):
+        m = turbine_model()
+        path = offset_path(m, 32, n_slices=4)
+        assert len(path) > 50
+        assert (m.sdf.value(path) > 0).all()
+
+    def test_offset_point_pushes_outside(self):
+        m = head_model()
+        surf = np.array([0.0, -20.5, 4.0])  # near the face
+        p = offset_point(m.sdf, surf, np.array([0.0, -1.0, 0.0]), 1.0)
+        assert float(m.sdf.value(p)) > 0
+
+
+class TestSamplePivots:
+    def test_deterministic(self, head_path):
+        a = sample_pivots(head_path, 5, seed=9)
+        b = sample_pivots(head_path, 5, seed=9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, head_path):
+        a = sample_pivots(head_path, 5, seed=1)
+        b = sample_pivots(head_path, 5, seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_without_replacement(self, head_path):
+        n = min(len(head_path), 50)
+        s = sample_pivots(head_path, n, seed=0)
+        assert len(np.unique(s, axis=0)) == n
+
+    def test_oversampling_falls_back(self):
+        path = np.arange(9.0).reshape(3, 3)
+        s = sample_pivots(path, 10, seed=0)
+        assert s.shape == (10, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sample_pivots(np.zeros((0, 3)), 1)
+        with pytest.raises(ValueError):
+            sample_pivots(np.zeros((5, 2)), 1)

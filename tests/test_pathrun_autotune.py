@@ -1,0 +1,100 @@
+"""The Section 8 future-work features: AM overlap along paths, S tuning."""
+
+import numpy as np
+import pytest
+
+from repro.cd import AICA, MICA, Scene
+from repro.cd.pathrun import map_overlap, run_along_path
+from repro.engine.autotune import tune_memo_levels
+from repro.engine.device import GTX_1080, GTX_1080_TI, DeviceSpec
+from repro.geometry.orientation import OrientationGrid
+from repro.tool.tool import paper_tool
+
+
+class TestMapOverlap:
+    def test_identical(self):
+        a = np.array([True, False, True])
+        assert map_overlap(a, a) == 1.0
+
+    def test_disjoint(self):
+        assert map_overlap(np.array([True, True]), np.array([False, False])) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            map_overlap(np.zeros(3, bool), np.zeros(4, bool))
+
+    def test_empty(self):
+        assert map_overlap(np.zeros(0, bool), np.zeros(0, bool)) == 1.0
+
+
+class TestRunAlongPath:
+    @pytest.fixture(scope="class")
+    def path_result(self, head_tree_64_expanded):
+        from repro.path.offset import offset_path
+        from repro.solids.models import head_model
+
+        path = offset_path(head_model(), 64)
+        # consecutive points along one slice
+        pivots = path[:4]
+        return run_along_path(
+            head_tree_64_expanded, paper_tool(), pivots, OrientationGrid.square(8), AICA()
+        )
+
+    def test_one_result_per_pivot(self, path_result):
+        assert len(path_result.results) == 4
+        assert path_result.overlaps.shape == (3,)
+
+    def test_neighbors_overlap_heavily(self, path_result):
+        """The paper's Section 8 premise: nearby pivots share AM values."""
+        assert path_result.mean_overlap > 0.8
+
+    def test_accessible_fraction_shape(self, path_result):
+        f = path_result.accessible_fraction
+        assert f.shape == (4,)
+        assert ((0 <= f) & (f <= 1)).all()
+
+    def test_total_simulated_time(self, path_result):
+        assert path_result.total_simulated_seconds() > 0
+
+    def test_validates_pivot_shape(self, head_tree_64_expanded):
+        with pytest.raises(ValueError):
+            run_along_path(
+                head_tree_64_expanded,
+                paper_tool(),
+                np.zeros((3, 2)),
+                OrientationGrid.square(4),
+                AICA(),
+            )
+
+
+class TestTuneMemoLevels:
+    def test_basic_sweep(self, head_scene):
+        grid = OrientationGrid.square(8)
+        best, rows = tune_memo_levels(head_scene, grid, AICA())
+        assert 2 <= best <= head_scene.tree.depth + 1
+        assert len(rows) == head_scene.tree.depth
+        # the returned best really is the sweep minimum
+        totals = {r.memo_levels: r.total_s for r in rows}
+        assert totals[best] == min(totals.values())
+
+    def test_prefers_deep_memoization(self, head_scene):
+        """On these devices the table is nearly free, so large S wins —
+        the paper's own conclusion for S = 8."""
+        grid = OrientationGrid.square(8)
+        best, _ = tune_memo_levels(head_scene, grid, MICA())
+        assert best >= head_scene.tree.depth - 1
+
+    def test_weak_device_prefers_smaller_table(self, head_scene):
+        """A drastically weaker device shifts the optimum toward smaller S
+        (or at least never past the strong device's optimum)."""
+        grid = OrientationGrid.square(8)
+        strong, _ = tune_memo_levels(head_scene, grid, AICA(), device=GTX_1080_TI)
+        weak_dev = DeviceSpec("weak", cuda_cores=64, clock_ghz=0.2)
+        weak, _ = tune_memo_levels(head_scene, grid, AICA(), device=weak_dev)
+        assert weak <= strong
+
+    def test_gtx1080_vs_ti_consistent(self, head_scene):
+        grid = OrientationGrid.square(8)
+        b1, _ = tune_memo_levels(head_scene, grid, AICA(), device=GTX_1080_TI)
+        b2, _ = tune_memo_levels(head_scene, grid, AICA(), device=GTX_1080)
+        assert abs(b1 - b2) <= 1

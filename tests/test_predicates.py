@@ -1,0 +1,159 @@
+"""Exactness tests for the scalar CHECKBOX predicate.
+
+The cylinder-box test is the ground truth everything else falls back to,
+so it gets the heaviest scrutiny: hand-constructed configurations for
+every contact class (cap, side, edge, corner, containment both ways) and
+a Monte-Carlo soundness property under hypothesis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.cylinder import Cylinder
+from repro.geometry.orientation import direction_from_angles
+from repro.geometry.predicates import (
+    cylinder_aabb_intersects,
+    cylinder_sphere_intersects,
+    tool_cylinders_aabb_intersects,
+)
+from repro.geometry.sphere import Sphere
+
+Z = np.array([0.0, 0.0, 1.0])
+
+
+def _cyl(z0=0.0, z1=10.0, r=2.0, direction=Z, pivot=(0, 0, 0)):
+    return Cylinder(np.asarray(pivot, float), direction, z0, z1, r)
+
+
+class TestCylinderBoxHandConstructed:
+    def test_box_far_away(self):
+        assert not cylinder_aabb_intersects(_cyl(), AABB.cube([20, 0, 5], 1.0))
+
+    def test_box_touching_side_exactly(self):
+        # box face at x = 2.0 == radius
+        assert cylinder_aabb_intersects(_cyl(), AABB([2.0, -1, 4], [4.0, 1, 6]))
+
+    def test_box_just_past_side(self):
+        assert not cylinder_aabb_intersects(_cyl(), AABB([2.001, -1, 4], [4.0, 1, 6]))
+
+    def test_box_touching_cap(self):
+        assert cylinder_aabb_intersects(_cyl(), AABB([-1, -1, 10.0], [1, 1, 12]))
+        assert not cylinder_aabb_intersects(_cyl(), AABB([-1, -1, 10.001], [1, 1, 12]))
+
+    def test_box_at_cap_edge_circle(self):
+        # Box corner near the rim of the top cap: closest cylinder point is
+        # the rim (2/sqrt(2), 2/sqrt(2), 10).
+        e = 2.0 / np.sqrt(2.0)
+        assert cylinder_aabb_intersects(
+            _cyl(), AABB([e, e, 10.0], [e + 1, e + 1, 11.0])
+        )
+        assert not cylinder_aabb_intersects(
+            _cyl(), AABB([e + 1e-3, e + 1e-3, 10.0 + 1e-3], [e + 1, e + 1, 11.0])
+        )
+
+    def test_cylinder_inside_box(self):
+        assert cylinder_aabb_intersects(_cyl(), AABB([-50, -50, -50], [50, 50, 50]))
+
+    def test_box_inside_cylinder(self):
+        assert cylinder_aabb_intersects(_cyl(), AABB.cube([0, 0, 5], 0.5))
+
+    def test_box_straddles_slab_without_corners_inside(self):
+        # Tall thin box passing through the whole cylinder vertically.
+        assert cylinder_aabb_intersects(_cyl(), AABB([-0.5, -0.5, -5], [0.5, 0.5, 20]))
+
+    def test_box_beside_axis_but_outside_radius(self):
+        assert not cylinder_aabb_intersects(_cyl(), AABB([3, 3, 0], [4, 4, 10]))
+
+    def test_oblique_cylinder(self):
+        d = direction_from_angles(np.pi / 4, 0.0)  # 45 deg in the xz plane
+        c = _cyl(direction=d, r=1.0, z1=20.0)
+        # a box sitting on the axis halfway out
+        center = 10.0 * d
+        assert cylinder_aabb_intersects(c, AABB.cube(center, 0.5))
+        # same box displaced perpendicular by more than the radius + diag
+        perp = np.array([d[2], 0, -d[0]])
+        assert not cylinder_aabb_intersects(c, AABB.cube(center + 3.0 * perp, 0.5))
+
+    def test_degenerate_projection_face(self):
+        # Cylinder axis parallel to a box face: that face projects to a
+        # segment in the cross-section plane; must still be exact.
+        c = _cyl(direction=np.array([1.0, 0.0, 0.0]), z0=0.0, z1=10.0, r=1.0)
+        assert cylinder_aabb_intersects(c, AABB([2, -1.0, -1.0], [4, 1.0, 1.0]))
+        assert not cylinder_aabb_intersects(c, AABB([2, 1.001, -1.0], [4, 3.0, 1.0]))
+
+
+class TestToolWrapper:
+    def test_any_cylinder_hits(self):
+        cyls = [_cyl(0, 1, 0.5), _cyl(5, 6, 3.0)]
+        assert tool_cylinders_aabb_intersects(cyls, AABB.cube([2.9, 0, 5.5], 0.1))
+        assert not tool_cylinders_aabb_intersects(cyls, AABB.cube([2.9, 0, 2.5], 0.1))
+
+
+class TestCylinderSphere:
+    def test_touching(self):
+        assert cylinder_sphere_intersects(_cyl(), Sphere([3.0, 0, 5], 1.0))
+        assert not cylinder_sphere_intersects(_cyl(), Sphere([3.01, 0, 5], 1.0))
+
+    def test_cap_contact(self):
+        assert cylinder_sphere_intersects(_cyl(), Sphere([0, 0, 11.0], 1.0))
+        assert not cylinder_sphere_intersects(_cyl(), Sphere([0, 0, 11.01], 1.0))
+
+    def test_corner_contact(self):
+        # sphere near the rim corner (2, 0, 10): true distance is exactly 1,
+        # so nudge the radius by an ulp-scale epsilon on each side
+        assert cylinder_sphere_intersects(_cyl(), Sphere([2.6, 0, 10.8], 1.0 + 1e-9))
+        assert not cylinder_sphere_intersects(_cyl(), Sphere([2.6, 0, 10.8], 1.0 - 1e-9))
+
+
+@st.composite
+def random_case(draw):
+    phi = draw(st.floats(0.01, np.pi - 0.01))
+    gamma = draw(st.floats(0, 2 * np.pi))
+    z0 = draw(st.floats(-3, 3))
+    height = draw(st.floats(0.5, 15))
+    r = draw(st.floats(0.2, 4))
+    cx = draw(st.floats(-12, 12))
+    cy = draw(st.floats(-12, 12))
+    cz = draw(st.floats(-12, 12))
+    half = draw(st.floats(0.1, 3))
+    return phi, gamma, z0, z0 + height, r, np.array([cx, cy, cz]), half
+
+
+class TestMonteCarloSoundness:
+    """If random sampling finds a common point, the predicate must say yes;
+    if the predicate says yes, a fine sampling of the box must come within
+    a tolerance of the cylinder."""
+
+    @given(random_case())
+    @settings(max_examples=40)
+    def test_no_false_negatives(self, case):
+        phi, gamma, z0, z1, r, center, half = case
+        d = direction_from_angles(phi, gamma)
+        cyl = _cyl(z0=z0, z1=z1, r=r, direction=d)
+        box = AABB.cube(center, half)
+        rng = np.random.default_rng(42)
+        pts = center + rng.uniform(-half, half, (2000, 3))
+        mc_hit = bool(cyl.contains(pts).any())
+        got = cylinder_aabb_intersects(cyl, box)
+        if mc_hit:
+            assert got, "sampling found a common point but CHECKBOX said no"
+
+    @given(random_case())
+    @settings(max_examples=40)
+    def test_positive_implies_near_contact(self, case):
+        phi, gamma, z0, z1, r, center, half = case
+        d = direction_from_angles(phi, gamma)
+        cyl = _cyl(z0=z0, z1=z1, r=r, direction=d)
+        box = AABB.cube(center, half)
+        if cylinder_aabb_intersects(cyl, box):
+            # distance from a dense box grid to the cylinder should reach ~0
+            g = np.linspace(-half, half, 12)
+            X, Y, Zg = np.meshgrid(g, g, g, indexing="ij")
+            pts = center + np.stack([X, Y, Zg], axis=-1).reshape(-1, 3)
+            dmin = cyl.distance_to_point(pts).min()
+            # grid spacing bounds how far the true witness can be from a node
+            spacing = np.sqrt(3) * (2 * half / 11)
+            assert dmin <= spacing + 1e-9

@@ -1,0 +1,229 @@
+"""SDF primitives and CSG: sign exactness and clearance soundness.
+
+The octree build relies on two contracts (see the module docstring of
+:mod:`repro.solids.sdf`): signs classify inside/outside exactly, and
+``clearance`` never exceeds the true distance to the boundary.  Both are
+property-tested here against analytically known solids.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.solids.sdf import (
+    BoxSDF,
+    CapsuleSDF,
+    CylinderSDF,
+    Difference,
+    EllipsoidSDF,
+    HalfSpaceSDF,
+    Intersection,
+    RevolvedPolygonSDF,
+    Rotate,
+    Scale,
+    SphereSDF,
+    TorusSDF,
+    Translate,
+    Union,
+    union_all,
+)
+
+pt = st.tuples(st.floats(-30, 30), st.floats(-30, 30), st.floats(-30, 30)).map(np.asarray)
+
+
+class TestPrimitiveDistances:
+    @given(pt)
+    def test_sphere_exact(self, p):
+        s = SphereSDF((1, 2, 3), 5.0)
+        expected = np.linalg.norm(p - np.array([1, 2, 3])) - 5.0
+        assert float(s.value(p)) == pytest.approx(expected, abs=1e-12)
+
+    @given(pt)
+    def test_box_sign(self, p):
+        b = BoxSDF((0, 0, 0), (4, 5, 6))
+        inside = np.all(np.abs(p) <= [4, 5, 6])
+        v = float(b.value(p))
+        if v < -1e-12:
+            assert inside
+        if v > 1e-12:
+            assert not inside
+
+    @given(pt)
+    def test_box_distance_outside_exact(self, p):
+        b = BoxSDF((0, 0, 0), (4, 5, 6))
+        d = np.maximum(np.abs(p) - np.array([4, 5, 6]), 0.0)
+        if (d > 0).any():
+            assert float(b.value(p)) == pytest.approx(np.linalg.norm(d), abs=1e-12)
+
+    @given(pt)
+    def test_cylinder_matches_geometry_kernel(self, p):
+        from repro.geometry.cylinder import Cylinder
+
+        sdf = CylinderSDF((1.0, -2.0), -3.0, 7.0, 4.0)
+        cyl = Cylinder(np.array([1.0, -2.0, 0.0]), [0, 0, 1], -3.0, 7.0, 4.0)
+        outside = float(cyl.distance_to_point(p))
+        v = float(sdf.value(p))
+        if outside > 0:
+            assert v == pytest.approx(outside, abs=1e-12)
+        else:
+            assert v <= 1e-12
+
+    @given(pt)
+    def test_capsule_exact(self, p):
+        a, b, r = np.array([0, 0, 0.0]), np.array([0, 0, 10.0]), 2.0
+        c = CapsuleSDF(a, b, r)
+        t = np.clip(p[2] / 10.0, 0, 1)
+        expected = np.linalg.norm(p - np.array([0, 0, 10 * t])) - r
+        assert float(c.value(p)) == pytest.approx(expected, abs=1e-12)
+
+    @given(pt)
+    def test_torus_exact(self, p):
+        t = TorusSDF((0, 0, 0), 8.0, 2.0)
+        q = np.hypot(np.hypot(p[0], p[1]) - 8.0, p[2]) - 2.0
+        assert float(t.value(p)) == pytest.approx(q, abs=1e-12)
+
+    def test_halfspace(self):
+        h = HalfSpaceSDF([0, 0, 2.0], 4.0)  # z <= 2 (normalized offset)
+        assert float(h.value(np.array([0, 0, 0.0]))) < 0
+        assert float(h.value(np.array([0, 0, 3.0]))) > 0
+
+    @given(pt)
+    def test_ellipsoid_clearance_sound(self, p):
+        e = EllipsoidSDF((0, 0, 0), (6.0, 3.0, 2.0))
+        c = float(e.clearance(p))
+        # true distance to the boundary, estimated by dense surface sampling
+        u = np.linspace(0, 2 * np.pi, 60)
+        v = np.linspace(0, np.pi, 30)
+        U, V = np.meshgrid(u, v)
+        surf = np.stack(
+            [6 * np.sin(V) * np.cos(U), 3 * np.sin(V) * np.sin(U), 2 * np.cos(V)],
+            axis=-1,
+        ).reshape(-1, 3)
+        true = np.linalg.norm(surf - p, axis=1).min()
+        assert c <= true + 0.05  # sampling slack
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            SphereSDF((0, 0, 0), 0.0)
+        with pytest.raises(ValueError):
+            BoxSDF((0, 0, 0), (1, -1, 1))
+        with pytest.raises(ValueError):
+            CylinderSDF((0, 0), 3.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            TorusSDF((0, 0, 0), 1.0, 2.0)
+        with pytest.raises(ValueError):
+            EllipsoidSDF((0, 0, 0), (1, 0, 1))
+
+
+class TestRevolvedPolygon:
+    def test_matches_cylinder(self):
+        """A rectangle profile revolved = a cylinder."""
+        prof = np.array([(0.0, 0.0), (3.0, 0.0), (3.0, 5.0), (0.0, 5.0)])
+        rev = RevolvedPolygonSDF((0, 0, 0), prof)
+        cyl = CylinderSDF((0.0, 0.0), 0.0, 5.0, 3.0)
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(-8, 10, (300, 3))
+        np.testing.assert_allclose(rev.value(pts), cyl.value(pts), atol=1e-9)
+
+    def test_rejects_negative_rho(self):
+        with pytest.raises(ValueError):
+            RevolvedPolygonSDF((0, 0, 0), [(-1.0, 0.0), (1.0, 0.0), (1.0, 1.0)])
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            RevolvedPolygonSDF((0, 0, 0), [(0.0, 0.0), (1.0, 0.0)])
+
+
+class TestCSG:
+    @given(pt)
+    def test_union_sign(self, p):
+        a = SphereSDF((0, 0, 0), 5.0)
+        b = SphereSDF((7, 0, 0), 5.0)
+        u = Union(a, b)
+        inside = (np.linalg.norm(p) <= 5.0) or (np.linalg.norm(p - [7, 0, 0]) <= 5.0)
+        assert bool(u.contains(p)) == inside
+
+    @given(pt)
+    def test_intersection_sign(self, p):
+        a = SphereSDF((0, 0, 0), 5.0)
+        b = SphereSDF((4, 0, 0), 5.0)
+        i = Intersection(a, b)
+        inside = (np.linalg.norm(p) <= 5.0) and (np.linalg.norm(p - [4, 0, 0]) <= 5.0)
+        assert bool(i.contains(p)) == inside
+
+    @given(pt)
+    def test_difference_sign(self, p):
+        a = SphereSDF((0, 0, 0), 8.0)
+        b = SphereSDF((0, 0, 0), 4.0)
+        d = Difference(a, b)
+        r = np.linalg.norm(p)
+        inside = (r <= 8.0) and (r >= 4.0)  # hollow shell (closed/open edges aside)
+        if 4.0 + 1e-9 < r < 8.0 - 1e-9:
+            assert d.contains(p)
+        if r < 4.0 - 1e-9 or r > 8.0 + 1e-9:
+            assert not d.contains(p)
+        del inside
+
+    @given(pt)
+    def test_csg_clearance_sound_union(self, p):
+        """min-clearance is a lower bound on distance to the union boundary."""
+        a = SphereSDF((0, 0, 0), 5.0)
+        b = BoxSDF((6, 0, 0), (2, 2, 2))
+        u = Union(a, b)
+        c = float(u.clearance(p))
+        # distance to boundary of union >= clearance: test via the implicit
+        # sign: any point within distance < c of p must have the same sign.
+        rng = np.random.default_rng(1)
+        offs = rng.normal(size=(60, 3))
+        offs = offs / np.linalg.norm(offs, axis=1, keepdims=True) * (c * 0.999)
+        if c > 1e-9:
+            signs = u.value(p + offs) <= 0
+            assert signs.all() or (~signs).all()
+
+    def test_operator_sugar(self):
+        a = SphereSDF((0, 0, 0), 5.0)
+        b = SphereSDF((2, 0, 0), 3.0)
+        assert isinstance(a | b, Union)
+        assert isinstance(a & b, Intersection)
+        assert isinstance(a - b, Difference)
+
+    def test_union_all_balanced(self):
+        solids = [SphereSDF((i * 3.0, 0, 0), 1.0) for i in range(9)]
+        u = union_all(solids)
+        for i in range(9):
+            assert u.contains(np.array([i * 3.0, 0, 0]))
+        assert not u.contains(np.array([1.5, 0, 0]))
+
+    def test_union_all_empty_raises(self):
+        with pytest.raises(ValueError):
+            union_all([])
+
+
+class TestTransforms:
+    def test_translate(self):
+        s = Translate(SphereSDF((0, 0, 0), 2.0), (5, 0, 0))
+        assert s.contains(np.array([5.0, 0, 0]))
+        assert not s.contains(np.array([0.0, 0, 0]))
+
+    def test_rotate_rejects_non_orthonormal(self):
+        with pytest.raises(ValueError):
+            Rotate(SphereSDF((0, 0, 0), 1.0), np.eye(3) * 2.0)
+
+    def test_rotate_moves_feature(self):
+        box = BoxSDF((5, 0, 0), (1, 1, 1))
+        Rz90 = np.array([[0.0, -1, 0], [1, 0, 0], [0, 0, 1]])
+        r = Rotate(box, Rz90)
+        assert r.contains(np.array([0.0, 5.0, 0.0]))
+        assert not r.contains(np.array([5.0, 0.0, 0.0]))
+
+    def test_scale(self):
+        s = Scale(SphereSDF((0, 0, 0), 2.0), 3.0)
+        assert s.contains(np.array([5.9, 0, 0]))
+        assert not s.contains(np.array([6.1, 0, 0]))
+        # distances scale too
+        assert float(s.value(np.array([9.0, 0, 0]))) == pytest.approx(3.0, abs=1e-12)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Scale(SphereSDF((0, 0, 0), 1.0), 0.0)

@@ -1,0 +1,118 @@
+"""Direction sets, slerp, and rotation-sweep checking."""
+
+import numpy as np
+import pytest
+
+from repro.cd.sweep import check_rotation_sweep
+from repro.geometry.orientation import (
+    DirectionSet,
+    direction_from_angles,
+    slerp_directions,
+)
+
+
+class TestSlerp:
+    def test_endpoints_and_unit(self):
+        d0 = np.array([0.0, 0.0, 1.0])
+        d1 = np.array([1.0, 0.0, 0.0])
+        out = slerp_directions(d0, d1, 9)
+        np.testing.assert_allclose(out[0], d0, atol=1e-12)
+        np.testing.assert_allclose(out[-1], d1, atol=1e-12)
+        np.testing.assert_allclose(np.linalg.norm(out, axis=1), 1.0, atol=1e-12)
+
+    def test_uniform_angular_spacing(self):
+        d0 = np.array([0.0, 0.0, 1.0])
+        d1 = np.array([0.0, 1.0, 0.0])
+        out = slerp_directions(d0, d1, 10)
+        angles = np.arccos(np.clip(np.einsum("ij,ij->i", out[:-1], out[1:]), -1, 1))
+        np.testing.assert_allclose(angles, angles[0], rtol=1e-9)
+
+    def test_identical_inputs(self):
+        d = np.array([0.0, 1.0, 0.0])
+        out = slerp_directions(d, d, 5)
+        np.testing.assert_allclose(out, np.tile(d, (5, 1)))
+
+    def test_antipodal_rejected(self):
+        with pytest.raises(ValueError):
+            slerp_directions([0, 0, 1.0], [0, 0, -1.0], 5)
+
+    def test_too_few_steps(self):
+        with pytest.raises(ValueError):
+            slerp_directions([0, 0, 1.0], [1, 0, 0.0], 1)
+
+
+class TestDirectionSet:
+    def test_protocol(self):
+        dirs = direction_from_angles(np.array([0.5, 1.0]), np.array([0.0, 2.0]))
+        ds = DirectionSet(dirs)
+        assert ds.size == 2
+        assert ds.shape == (2, 1)
+        np.testing.assert_array_equal(ds.directions(), dirs)
+        out = ds.unflatten(np.array([True, False]))
+        assert out.shape == (2, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DirectionSet(np.zeros((0, 3)))
+        with pytest.raises(ValueError):
+            DirectionSet(np.array([[2.0, 0.0, 0.0]]))  # not unit
+        with pytest.raises(ValueError):
+            DirectionSet(np.zeros((3,)))
+
+    def test_run_cd_accepts_direction_set(self, sphere_scene):
+        from repro.cd import AICA, run_cd
+
+        up = np.array([0.0, 0.0, 1.0])
+        down = np.array([0.0, 0.0, -1.0])
+        side = np.array([1.0, 0.0, 0.0])
+        r = run_cd(sphere_scene, DirectionSet(np.stack([up, down, side])), AICA())
+        # pivot above the sphere pole: up free, down blocked
+        assert not r.collides[0]
+        assert r.collides[1]
+
+
+class TestRotationSweep:
+    def test_clear_sweep_above_pole(self, sphere_scene):
+        """Rotating between two near-vertical orientations stays clear.
+
+        The margin is tight by construction: the paper tool's 6.35 mm
+        cutter at a 1 mm standoff only tolerates tilts below roughly
+        arcsin(1/6.35) ~ 9 degrees, so the arc stays at phi ~ 2.9 deg.
+        """
+        d0 = direction_from_angles(0.05, 0.0)
+        d1 = direction_from_angles(0.05, 2.0)
+        res = check_rotation_sweep(sphere_scene, d0, d1, steps=12)
+        assert res.clear
+        assert res.first_blocked_step == -1
+        assert res.first_blocked_t == -1.0
+        assert res.blocked_fraction == 0.0
+
+    def test_blocked_sweep_through_part(self, sphere_scene):
+        """Sweeping from skyward to sideways passes near-tangent
+        orientations that hit the sphere."""
+        d0 = direction_from_angles(0.1, 0.0)
+        d1 = direction_from_angles(np.pi * 0.75, 0.0)
+        res = check_rotation_sweep(sphere_scene, d0, d1, steps=16)
+        assert not res.clear
+        assert 0 <= res.first_blocked_step < 16
+        assert 0.0 < res.blocked_fraction <= 1.0
+        assert 0.0 <= res.first_blocked_t <= 1.0
+
+    def test_endpoint_blocked_counts(self, sphere_scene):
+        d_block = np.array([0.0, 0.0, -1.0])
+        d_free = np.array([0.0, 0.0, 1.0])
+        # antipodal is rejected; tilt the free one slightly
+        d_free = direction_from_angles(0.05, 0.0)
+        res = check_rotation_sweep(sphere_scene, d_block, d_free, steps=8)
+        assert not res.clear
+        assert res.first_blocked_step == 0
+
+    def test_methods_agree_on_sweep(self, sphere_scene):
+        from repro.cd import MICA, PBoxOpt
+
+        d0 = direction_from_angles(0.4, 1.0)
+        d1 = direction_from_angles(1.4, 4.0)
+        a = check_rotation_sweep(sphere_scene, d0, d1, steps=10, method=MICA())
+        b = check_rotation_sweep(sphere_scene, d0, d1, steps=10, method=PBoxOpt())
+        assert a.clear == b.clear
+        assert a.first_blocked_step == b.first_blocked_step

@@ -1,0 +1,81 @@
+"""Tool model tests."""
+
+import numpy as np
+import pytest
+
+from repro.tool.tool import Tool, ball_end_mill, paper_tool, straight_line_tool
+
+
+class TestToolConstruction:
+    def test_from_segments_stacking(self):
+        t = Tool.from_segments([(1.0, 10.0), (2.0, 5.0)])
+        np.testing.assert_allclose(t.z0, [0.0, 10.0])
+        np.testing.assert_allclose(t.z1, [10.0, 15.0])
+        np.testing.assert_allclose(t.radius, [1.0, 2.0])
+        assert t.reach == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tool(np.array([0.0]), np.array([0.0]), np.array([1.0]))  # z1 == z0
+        with pytest.raises(ValueError):
+            Tool(np.array([0.0]), np.array([1.0]), np.array([0.0]))  # r == 0
+        with pytest.raises(ValueError):
+            Tool(np.zeros(0), np.zeros(0), np.zeros(0))  # empty
+
+    def test_paper_tool_spec(self):
+        """Section 5.1: radii (31.5, 20, 6.225, 6.35), heights (22.1, 78, 76.2, 25.4)."""
+        t = paper_tool()
+        assert t.n_cylinders == 4
+        assert sorted(t.radius) == sorted([31.5, 20.0, 6.225, 6.35])
+        heights = t.z1 - t.z0
+        assert sorted(np.round(heights, 4)) == sorted([22.1, 78.0, 76.2, 25.4])
+        assert t.reach == pytest.approx(25.4 + 76.2 + 78.0 + 22.1)
+        assert t.z0[0] == 0.0  # cutter starts at the pivot
+
+    def test_cylinders_materialization(self):
+        t = ball_end_mill()
+        cyls = t.cylinders(np.array([1.0, 2.0, 3.0]), np.array([0.0, 0.0, 1.0]))
+        assert len(cyls) == t.n_cylinders
+        np.testing.assert_allclose(cyls[0].pivot, [1, 2, 3])
+
+    def test_profile_rectangles(self):
+        t = paper_tool()
+        rect = t.profile_rectangles()
+        assert rect.shape == (4, 3)
+        np.testing.assert_allclose(rect[:, 0], t.z0)
+
+
+class TestToolContains:
+    def test_axis_points(self):
+        t = ball_end_mill(radius=3.0, flute=20.0, shank=60.0)
+        pivot = np.zeros(3)
+        d = np.array([0.0, 0.0, 1.0])
+        assert t.contains(pivot, d, np.array([0.0, 0.0, 10.0]))
+        assert t.contains(pivot, d, np.array([0.0, 0.0, 50.0]))
+        assert not t.contains(pivot, d, np.array([0.0, 0.0, 81.0]))
+        assert not t.contains(pivot, d, np.array([0.0, 0.0, -0.1]))
+
+    def test_radial_limits(self):
+        t = ball_end_mill(radius=3.0)
+        pivot = np.zeros(3)
+        d = np.array([0.0, 0.0, 1.0])
+        assert t.contains(pivot, d, np.array([3.0, 0.0, 10.0]))
+        assert not t.contains(pivot, d, np.array([3.01, 0.0, 10.0]))
+
+    def test_matches_cylinder_union(self, rng):
+        from repro.geometry.orientation import direction_from_angles
+
+        t = paper_tool()
+        pivot = np.array([2.0, -1.0, 0.5])
+        d = direction_from_angles(1.1, 0.7)
+        pts = rng.uniform(-60, 220, (400, 3))
+        exp = np.zeros(len(pts), dtype=bool)
+        for c in t.cylinders(pivot, d):
+            exp |= c.contains(pts)
+        np.testing.assert_array_equal(t.contains(pivot, d, pts), exp)
+
+    def test_straight_line_tool(self):
+        t = straight_line_tool(length=50.0)
+        assert t.n_cylinders == 1
+        assert t.reach == 50.0
+        assert t.max_radius < 0.01

@@ -1,0 +1,62 @@
+"""CD methods on *unexpanded* trees (virtual base cells in play).
+
+The bench workloads always apply `expand_top`, so these tests cover the
+other supported configuration: running directly on a raw adaptive tree,
+where FULL nodes above the start level enter the frontier as virtual
+cells (no table entries, on-the-fly cone bounds) — the code path that
+regressed once during development.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cd import AICA, MICA, PBox, PICA, Scene, run_cd
+from repro.cd.verify import brute_force_map
+from repro.geometry.aabb import AABB
+from repro.geometry.orientation import OrientationGrid
+from repro.octree.build import build_from_sdf, expand_top
+from repro.solids.sdf import BoxSDF, SphereSDF, Union
+from repro.tool.tool import paper_tool
+
+DOMAIN = AABB((-20, -20, -20), (20, 20, 20))
+
+
+@pytest.fixture(scope="module")
+def chunky_tree():
+    """A solid with large uniform regions -> FULL nodes at coarse levels."""
+    solid = Union(BoxSDF((0, 0, -5), (10.0, 10.0, 5.0)), SphereSDF((0, 0, 8), 6.0))
+    return build_from_sdf(solid, DOMAIN, 32)
+
+
+class TestUnexpandedTraversal:
+    def test_has_full_above_start(self, chunky_tree):
+        from repro.octree.linear import STATUS_FULL
+
+        n = sum(
+            int((chunky_tree.levels[l].status == STATUS_FULL).sum()) for l in range(5)
+        )
+        assert n > 0, "fixture must exercise the virtual-cell path"
+
+    @pytest.mark.parametrize("method_cls", [PBox, PICA, MICA, AICA])
+    def test_matches_expanded(self, chunky_tree, method_cls):
+        grid = OrientationGrid.square(8)
+        pivot = np.array([0.0, 0.0, 15.0])
+        raw = run_cd(Scene(chunky_tree, paper_tool(), pivot), grid, method_cls())
+        exp_tree = expand_top(chunky_tree, 5)
+        exp = run_cd(Scene(exp_tree, paper_tool(), pivot), grid, method_cls())
+        np.testing.assert_array_equal(raw.collides, exp.collides)
+
+    def test_matches_brute_force(self, chunky_tree):
+        grid = OrientationGrid.square(8)
+        scene = Scene(chunky_tree, paper_tool(), np.array([12.0, 0.0, 12.0]))
+        got = run_cd(scene, grid, AICA()).collides
+        np.testing.assert_array_equal(got, brute_force_map(scene, grid))
+
+    def test_virtual_cells_priced_as_fly(self, chunky_tree):
+        """MICA on a raw tree must do some on-the-fly cone computations
+        (the virtual base cells have no table rows)."""
+        grid = OrientationGrid.square(6)
+        scene = Scene(chunky_tree, paper_tool(), np.array([0.0, 0.0, 15.0]))
+        r = run_cd(scene, grid, MICA())
+        assert r.counters.ica_fly_checks.sum() > 0
+        assert r.counters.ica_memo_checks.sum() > 0

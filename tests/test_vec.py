@@ -1,0 +1,92 @@
+"""Unit tests for the vector helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.geometry.vec import as_vec3, clamp, cross, dot, lerp, norm, norm_sq, normalize
+
+finite = st.floats(-1e6, 1e6, allow_nan=False)
+vec3 = arrays(np.float64, 3, elements=finite)
+
+
+class TestAsVec3:
+    def test_list_input(self):
+        v = as_vec3([1.0, 2.0, 3.0])
+        assert v.shape == (3,)
+        assert v.dtype == np.float64
+
+    def test_batch_input(self):
+        v = as_vec3(np.ones((5, 3)))
+        assert v.shape == (5, 3)
+
+    def test_rejects_wrong_trailing_dim(self):
+        with pytest.raises(ValueError):
+            as_vec3([1.0, 2.0])
+
+    def test_rejects_scalar(self):
+        with pytest.raises(ValueError):
+            as_vec3(1.0)
+
+
+class TestDotNorm:
+    @given(vec3, vec3)
+    def test_dot_symmetry(self, a, b):
+        assert dot(a, b) == pytest.approx(dot(b, a), rel=1e-12, abs=1e-9)
+
+    @given(vec3)
+    def test_norm_sq_consistency(self, a):
+        assert norm_sq(a) == pytest.approx(norm(a) ** 2, rel=1e-9, abs=1e-9)
+
+    def test_dot_batched(self):
+        a = np.arange(12.0).reshape(4, 3)
+        b = np.ones((4, 3))
+        assert dot(a, b).shape == (4,)
+        np.testing.assert_allclose(dot(a, b), a.sum(axis=1))
+
+    def test_dot_broadcasts(self):
+        a = np.ones((2, 5, 3))
+        b = np.array([1.0, 2.0, 3.0])
+        assert dot(a, b).shape == (2, 5)
+
+
+class TestNormalize:
+    @given(vec3.filter(lambda v: np.linalg.norm(v) > 1e-6))
+    def test_unit_length(self, v):
+        assert np.linalg.norm(normalize(v)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_zero_vector_raises(self):
+        with pytest.raises(ValueError):
+            normalize([0.0, 0.0, 0.0])
+
+    def test_batch(self):
+        v = np.array([[2.0, 0.0, 0.0], [0.0, 0.0, -5.0]])
+        u = normalize(v)
+        np.testing.assert_allclose(u, [[1, 0, 0], [0, 0, -1]])
+
+
+class TestCrossLerpClamp:
+    def test_cross_orthogonal(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([-4.0, 0.5, 2.0])
+        c = cross(a, b)
+        assert dot(a, c) == pytest.approx(0.0, abs=1e-12)
+        assert dot(b, c) == pytest.approx(0.0, abs=1e-12)
+
+    def test_lerp_endpoints(self):
+        a = np.array([0.0, 0.0, 0.0])
+        b = np.array([2.0, 4.0, 6.0])
+        np.testing.assert_allclose(lerp(a, b, np.array(0.0)), a)
+        np.testing.assert_allclose(lerp(a, b, np.array(1.0)), b)
+
+    def test_lerp_batch_t(self):
+        a = np.zeros(3)
+        b = np.array([1.0, 1.0, 1.0])
+        out = lerp(a, b, np.array([0.0, 0.5, 1.0]))
+        assert out.shape == (3, 3)
+        np.testing.assert_allclose(out[1], [0.5, 0.5, 0.5])
+
+    def test_clamp(self):
+        np.testing.assert_allclose(clamp(np.array([-1.0, 0.5, 2.0]), 0.0, 1.0), [0, 0.5, 1])

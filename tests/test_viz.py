@@ -1,0 +1,70 @@
+"""ASCII visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.viz import (
+    histogram_ascii,
+    render_accessibility,
+    render_grid_slice,
+    render_octree_slice,
+)
+
+
+class TestRenderAccessibility:
+    def test_labels_and_stats(self, sphere_scene):
+        from repro.cd import AICA, run_cd
+        from repro.geometry.orientation import OrientationGrid
+
+        r = run_cd(sphere_scene, OrientationGrid.square(6), AICA())
+        text = render_accessibility(r)
+        assert "phi=0" in text and "phi=pi" in text
+        assert "accessible" in text
+        assert f"{r.n_accessible}/36" in text
+
+
+class TestGridSlice:
+    def test_basic(self):
+        g = np.zeros((2, 3, 4), dtype=bool)
+        g[1, 1, 2] = True
+        out = render_grid_slice(g, 1)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[1][2] == "#"
+
+    def test_stride(self):
+        g = np.ones((1, 8, 8), dtype=bool)
+        out = render_grid_slice(g, 0, stride=2)
+        assert out.splitlines()[0] == "####"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_grid_slice(np.ones((2, 2), bool), 0)
+        with pytest.raises(ValueError):
+            render_grid_slice(np.ones((2, 2, 2), bool), 5)
+
+
+class TestOctreeSlice:
+    def test_sphere_slice_shape(self, head_tree_32, head):
+        out = render_octree_slice(head_tree_32, 0.0, width=20)
+        lines = out.splitlines()
+        assert len(lines) == 20
+        assert all(len(l) == 20 for l in lines)
+        assert "#" in out and "." in out
+
+    def test_out_of_domain(self, head_tree_32):
+        with pytest.raises(ValueError):
+            render_octree_slice(head_tree_32, 1e9)
+
+
+class TestHistogram:
+    def test_bins_and_bars(self):
+        out = histogram_ascii(np.concatenate([np.zeros(90), np.ones(10) * 9]), bins=2)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("*") > lines[1].count("*")
+
+    def test_label_and_empty(self):
+        assert histogram_ascii(np.zeros(0)) == "(no data)"
+        out = histogram_ascii([1.0, 2.0], label="checks")
+        assert out.splitlines()[0] == "checks"
