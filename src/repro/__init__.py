@@ -41,6 +41,15 @@ from repro.cd import (
 from repro.engine import DeviceSpec, GTX_1080, GTX_1080_TI, CostModel, DEFAULT_COSTS
 from repro.geometry import AABB, Cylinder, OrientationGrid, Sphere
 from repro.ica import build_ica_table, tool_ica, tool_ica_batch
+from repro.obs import (
+    MetricsRegistry,
+    RunReport,
+    Tracer,
+    build_report,
+    compare,
+    use_metrics,
+    use_tracer,
+)
 from repro.octree import LinearOctree, build_from_dense, build_from_sdf, expand_top
 from repro.path import offset_path, sample_pivots
 from repro.solids import benchmark_models
@@ -87,4 +96,12 @@ __all__ = [
     "GTX_1080",
     "CostModel",
     "DEFAULT_COSTS",
+    # observability
+    "Tracer",
+    "use_tracer",
+    "MetricsRegistry",
+    "use_metrics",
+    "RunReport",
+    "build_report",
+    "compare",
 ]

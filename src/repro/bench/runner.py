@@ -24,6 +24,7 @@ from repro.cd.traversal import TraversalConfig
 from repro.engine.costs import CostModel, DEFAULT_COSTS
 from repro.engine.device import DeviceSpec, GTX_1080_TI
 from repro.geometry.orientation import OrientationGrid
+from repro.obs.trace import get_tracer
 from repro.octree.build import build_from_sdf, expand_top
 from repro.octree.linear import LinearOctree
 from repro.path.offset import offset_path
@@ -108,8 +109,9 @@ def build_workload(
     """
     if isinstance(model, str):
         model = _model_by_name(model)
-    tree = cached_tree(model, resolution, start_level=start_level)
-    path = cached_path(model, resolution)
+    with get_tracer().span("bench.workload", model=model.name, resolution=resolution):
+        tree = cached_tree(model, resolution, start_level=start_level)
+        path = cached_path(model, resolution)
     return Workload(
         model=model,
         resolution=resolution,
@@ -136,13 +138,23 @@ def run_workload(
     last pivot's full :class:`CDResult` under ``"last_result"`` (for
     figures that need per-thread arrays).
     """
+    tracer = get_tracer()
     summaries: list[dict] = []
     last: CDResult | None = None
-    for i in range(len(workload.pivots)):
-        last = run_cd(
-            workload.scene(i), grid, method, device=device, costs=costs, config=config
-        )
-        summaries.append(last.summary())
+    with tracer.span(
+        "bench.run_workload",
+        method=method.name,
+        model=workload.model.name,
+        resolution=workload.resolution,
+        n_pivots=len(workload.pivots),
+    ):
+        for i in range(len(workload.pivots)):
+            with tracer.span("cd.pivot", index=i):
+                last = run_cd(
+                    workload.scene(i), grid, method,
+                    device=device, costs=costs, config=config,
+                )
+            summaries.append(last.summary())
 
     out: dict = {"method": method.name, "n_pivots": len(summaries), "last_result": last}
     for key, val in summaries[0].items():

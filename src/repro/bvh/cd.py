@@ -35,6 +35,8 @@ from repro.engine.simt import simulate_kernel, simulate_stage
 from repro.geometry.batch import tool_aabb_batch
 from repro.ica.cone import ica_bounds_cos
 from repro.ica.table import SQRT3
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.tool.tool import Tool
 
 __all__ = ["BvhMethod", "BvhResult", "run_cd_bvh"]
@@ -96,7 +98,40 @@ def run_cd_bvh(
     :class:`~repro.geometry.orientation.OrientationGrid` or
     :class:`~repro.geometry.orientation.DirectionSet`).
     """
+    with get_tracer().span(
+        "bvh.run", method=method.name, orientations=grid.size, nodes=bvh.n_nodes
+    ) as sp:
+        result = _run_cd_bvh(
+            bvh, tool, pivot, grid, method,
+            device=device, costs=costs, thread_block=thread_block,
+        )
+        sp.set(
+            colliding=int(result.collides.sum()),
+            total_checks=result.counters.total_checks,
+            table_entries=result.table_entries,
+        )
+    metrics = get_metrics()
+    result.counters.export(metrics, prefix="bvh")
+    metrics.counter("bvh.runs").inc()
+    metrics.counter("bvh.sim_cd_s").inc(result.timing.cd_tests_s)
+    metrics.counter("bvh.sim_precompute_s").inc(result.timing.ica_precompute_s)
+    metrics.counter("bvh.wall_s").inc(result.timing.wall_s)
+    return result
+
+
+def _run_cd_bvh(
+    bvh: BVH,
+    tool: Tool,
+    pivot,
+    grid,
+    method: BvhMethod,
+    *,
+    device: DeviceSpec,
+    costs: CostModel,
+    thread_block: int,
+) -> BvhResult:
     t0 = time.perf_counter()
+    tracer = get_tracer()
     pivot = np.asarray(pivot, dtype=np.float64).reshape(3)
     M = grid.size
     all_dirs = grid.directions()
@@ -106,7 +141,8 @@ def run_cd_bvh(
     table_entries = 0
     node_hi = prim_lo = prim_hi = None
     if method.use_ica and bvh.n_nodes:
-        node_hi, prim_lo, prim_hi = _node_tables(bvh, tool, pivot)
+        with tracer.span("bvh.table.build"):
+            node_hi, prim_lo, prim_hi = _node_tables(bvh, tool, pivot)
         table_entries = bvh.n_nodes + bvh.n_primitives
 
     if bvh.n_nodes == 0:

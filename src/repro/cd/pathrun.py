@@ -26,6 +26,7 @@ from repro.cd.traversal import TraversalConfig, run_cd
 from repro.engine.costs import CostModel, DEFAULT_COSTS
 from repro.engine.device import DeviceSpec, GTX_1080_TI
 from repro.geometry.orientation import OrientationGrid
+from repro.obs.trace import get_tracer
 
 __all__ = ["PathRunResult", "run_along_path", "map_overlap"]
 
@@ -85,10 +86,16 @@ def run_along_path(
     pivots = np.asarray(pivots, dtype=np.float64)
     if pivots.ndim != 2 or pivots.shape[1] != 3:
         raise ValueError("pivots must be (n, 3)")
-    results = [
-        run_cd(Scene(tree, tool, p), grid, method, device=device, costs=costs, config=config)
-        for p in pivots
-    ]
+    tracer = get_tracer()
+    results = []
+    for i, p in enumerate(pivots):
+        with tracer.span("cd.pivot", index=i) as sp:
+            r = run_cd(
+                Scene(tree, tool, p), grid, method,
+                device=device, costs=costs, config=config,
+            )
+            sp.set(colliding=r.n_colliding)
+        results.append(r)
     overlaps = np.array(
         [
             map_overlap(a.collides, b.collides)

@@ -2,12 +2,16 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.engine.counters import StageBreakdown, ThreadCounters
 from repro.geometry.orientation import OrientationGrid
+
+if TYPE_CHECKING:  # imported lazily to avoid the traversal<->result cycle
+    from repro.cd.traversal import TraversalConfig
 
 __all__ = ["CDResult"]
 
@@ -30,6 +34,7 @@ class CDResult:
     timing: StageBreakdown
     device_name: str
     table_entries: int = 0
+    config: "TraversalConfig | None" = None  # the run's traversal parameters
 
     @property
     def accessibility_map(self) -> np.ndarray:
@@ -68,4 +73,23 @@ class CDResult:
             "sim_total_ms": self.timing.total_s * 1e3,
             "wall_ms": self.timing.wall_s * 1e3,
             "table_entries": self.table_entries,
+        }
+
+    def to_dict(self) -> dict:
+        """Self-describing JSON form, consumed by :mod:`repro.obs.report`.
+
+        Carries the traversal config (when the run recorded one) so a
+        serialized result states *how* it was produced; the per-thread
+        arrays are summarized, not dumped (a 256^2 map would be 65k rows).
+        """
+        return {
+            "method": self.method,
+            "device": self.device_name,
+            "grid": {"m": self.grid.m, "n": self.grid.n, "size": self.grid.size},
+            "config": asdict(self.config) if self.config is not None else None,
+            "table_entries": self.table_entries,
+            "n_accessible": self.n_accessible,
+            "n_colliding": self.n_colliding,
+            "timing": self.timing.to_dict(),
+            "summary": self.summary(),
         }

@@ -41,6 +41,8 @@ from repro.engine.device import DeviceSpec, GTX_1080_TI
 from repro.engine.simt import simulate_kernel, simulate_stage
 from repro.geometry.orientation import OrientationGrid
 from repro.ica.table import IcaTable, build_ica_table
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 from repro.octree.linear import STATUS_FULL, STATUS_MIXED
 
 __all__ = ["TraversalConfig", "Runtime", "Wave", "run_cd", "OUT_NO", "OUT_YES", "OUT_EXPAND"]
@@ -221,57 +223,77 @@ def run_cd(
     tests).
     """
     t_wall0 = time.perf_counter()
+    tracer = get_tracer()
     M = grid.size
     counters = ThreadCounters(n_threads=M, n_cyl=scene.n_cylinders)
     rt = Runtime(scene=scene, grid=grid, counters=counters, costs=costs, config=config)
 
-    table_entries = 0
-    if getattr(method, "needs_table", False):
-        rt.table = build_ica_table(
-            scene.tree, scene.tool, scene.pivot, levels=config.memo_levels
-        )
-        table_entries = rt.table.n_entries
-
-    L0, base_codes, base_idx, base_status = initial_frontier(scene, config.start_level)
-    collides = np.zeros(M, dtype=bool)
-    tree = scene.tree
-
-    for t0 in range(0, M, config.thread_block):
-        t1 = min(t0 + config.thread_block, M)
-        block = np.arange(t0, t1, dtype=np.intp)
-        nb = len(base_codes)
-        threads = np.repeat(block, nb)
-        codes = np.tile(base_codes, len(block))
-        idx = np.tile(base_idx, len(block))
-        status = np.tile(base_status, len(block))
-
-        level = L0
-        while len(threads):
-            centers = tree.centers_of_codes(level, codes)
-            wave = Wave(
-                level=level,
-                threads=threads,
-                codes=codes,
-                idx=idx,
-                status=status,
-                centers=centers,
-                half=tree.cell_half(level),
-                dirs=rt.all_dirs[threads],
+    with tracer.span("cd.run", method=method.name, orientations=M) as run_sp:
+        table_entries = 0
+        if getattr(method, "needs_table", False):
+            rt.table = build_ica_table(
+                scene.tree, scene.tool, scene.pivot, levels=config.memo_levels
             )
-            counters.add_threads("nodes_visited", threads, M)
-            outcomes = method.decide(rt, wave)
-            threads, codes, idx, status = _advance(rt, wave, outcomes, collides)
-            level += 1
-            if level > tree.depth:
-                break
+            table_entries = rt.table.n_entries
 
-    wall = time.perf_counter() - t_wall0
-    cd_s = simulate_kernel(counters.thread_ops(costs), device)
-    pre_s = (
-        simulate_stage(costs.ica_precompute(scene.n_cylinders), table_entries, device)
-        if table_entries
-        else 0.0
-    )
+        L0, base_codes, base_idx, base_status = initial_frontier(scene, config.start_level)
+        collides = np.zeros(M, dtype=bool)
+        tree = scene.tree
+
+        with tracer.span("cd.traversal", start_level=L0):
+            for t0 in range(0, M, config.thread_block):
+                t1 = min(t0 + config.thread_block, M)
+                block = np.arange(t0, t1, dtype=np.intp)
+                nb = len(base_codes)
+                threads = np.repeat(block, nb)
+                codes = np.tile(base_codes, len(block))
+                idx = np.tile(base_idx, len(block))
+                status = np.tile(base_status, len(block))
+
+                level = L0
+                while len(threads):
+                    with tracer.span("cd.level", level=level, pairs=len(threads)):
+                        centers = tree.centers_of_codes(level, codes)
+                        wave = Wave(
+                            level=level,
+                            threads=threads,
+                            codes=codes,
+                            idx=idx,
+                            status=status,
+                            centers=centers,
+                            half=tree.cell_half(level),
+                            dirs=rt.all_dirs[threads],
+                        )
+                        counters.add_threads("nodes_visited", threads, M)
+                        outcomes = method.decide(rt, wave)
+                        threads, codes, idx, status = _advance(rt, wave, outcomes, collides)
+                    level += 1
+                    if level > tree.depth:
+                        break
+
+        wall = time.perf_counter() - t_wall0
+        cd_s = simulate_kernel(counters.thread_ops(costs), device)
+        pre_s = (
+            simulate_stage(costs.ica_precompute(scene.n_cylinders), table_entries, device)
+            if table_entries
+            else 0.0
+        )
+        run_sp.set(
+            colliding=int(collides.sum()),
+            total_checks=counters.total_checks,
+            table_entries=table_entries,
+            sim_cd_s=cd_s,
+            sim_precompute_s=pre_s,
+        )
+
+    metrics = get_metrics()
+    counters.export(metrics, prefix="cd")
+    metrics.counter("cd.runs").inc()
+    metrics.counter("cd.table_entries").inc(table_entries)
+    metrics.counter("cd.sim_cd_s").inc(cd_s)
+    metrics.counter("cd.sim_precompute_s").inc(pre_s)
+    metrics.counter("cd.wall_s").inc(wall)
+
     return CDResult(
         method=method.name,
         grid=grid,
@@ -280,4 +302,5 @@ def run_cd(
         timing=StageBreakdown(ica_precompute_s=pre_s, cd_tests_s=cd_s, wall_s=wall),
         device_name=device.name,
         table_entries=table_entries,
+        config=config,
     )

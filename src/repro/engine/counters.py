@@ -101,6 +101,36 @@ class ThreadCounters:
         """Index of the thread with the most node visits (Fig 13/14)."""
         return int(np.argmax(self.nodes_visited))
 
+    # -- observability ----------------------------------------------------
+
+    COUNTER_FIELDS = (
+        "box_checks",
+        "ica_fly_checks",
+        "ica_memo_checks",
+        "cull_checks",
+        "corner_cases",
+        "nodes_visited",
+    )
+
+    def export(self, registry, prefix: str = "cd") -> None:
+        """Accumulate this run's totals into a metrics registry.
+
+        Counter names are ``{prefix}.{field}`` plus ``{prefix}.total_checks``;
+        the per-thread visit distribution feeds the
+        ``{prefix}.nodes_visited_per_thread`` histogram and the load-imbalance
+        gauges (Fig 13/14's critical-thread view).
+        """
+        for name in self.COUNTER_FIELDS:
+            registry.counter(f"{prefix}.{name}").inc(int(getattr(self, name).sum()))
+        registry.counter(f"{prefix}.total_checks").inc(self.total_checks)
+        registry.histogram(f"{prefix}.nodes_visited_per_thread").observe_many(
+            self.nodes_visited
+        )
+        registry.gauge(f"{prefix}.ica_efficiency").set(self.ica_efficiency())
+        registry.gauge(f"{prefix}.critical_thread_checks").set(
+            int(self.nodes_visited.max(initial=0))
+        )
+
     def merged_with(self, other: "ThreadCounters") -> "ThreadCounters":
         """Elementwise sum (for accumulating over pivots or thread blocks)."""
         if self.n_threads != other.n_threads or self.n_cyl != other.n_cyl:
@@ -129,3 +159,11 @@ class StageBreakdown:
     def total_s(self) -> float:
         """Simulated end-to-end kernel time (precompute + CD stage)."""
         return self.ica_precompute_s + self.cd_tests_s
+
+    def to_dict(self) -> dict:
+        return {
+            "ica_precompute_s": self.ica_precompute_s,
+            "cd_tests_s": self.cd_tests_s,
+            "total_s": self.total_s,
+            "wall_s": self.wall_s,
+        }

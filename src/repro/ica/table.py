@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.ica.cone import ica_bounds_cos
+from repro.obs.trace import get_tracer
 from repro.octree.linear import LinearOctree
 from repro.tool.tool import Tool
 
@@ -75,23 +76,25 @@ def build_ica_table(
         levels = min(8, tree.depth) + 1
     levels = int(min(levels, tree.depth + 1))
 
-    cos1: list[np.ndarray] = []
-    cos2: list[np.ndarray] = []
-    n = 0
-    for l in range(levels):
-        lev = tree.levels[l]
-        if lev.n == 0:
-            cos1.append(np.zeros(0))
-            cos2.append(np.zeros(0))
-            continue
-        centers = tree.centers(l)
-        dist = np.linalg.norm(centers - pivot, axis=-1)
-        half = tree.cell_half(l)
-        lo, _ = ica_bounds_cos(tool.z0, tool.z1, tool.radius, dist, np.full(lev.n, half))
-        _, hi = ica_bounds_cos(
-            tool.z0, tool.z1, tool.radius, dist, np.full(lev.n, SQRT3 * half)
-        )
-        cos1.append(lo)
-        cos2.append(hi)
-        n += lev.n
+    with get_tracer().span("ica.table.build", levels=levels) as sp:
+        cos1: list[np.ndarray] = []
+        cos2: list[np.ndarray] = []
+        n = 0
+        for l in range(levels):
+            lev = tree.levels[l]
+            if lev.n == 0:
+                cos1.append(np.zeros(0))
+                cos2.append(np.zeros(0))
+                continue
+            centers = tree.centers(l)
+            dist = np.linalg.norm(centers - pivot, axis=-1)
+            half = tree.cell_half(l)
+            lo, _ = ica_bounds_cos(tool.z0, tool.z1, tool.radius, dist, np.full(lev.n, half))
+            _, hi = ica_bounds_cos(
+                tool.z0, tool.z1, tool.radius, dist, np.full(lev.n, SQRT3 * half)
+            )
+            cos1.append(lo)
+            cos2.append(hi)
+            n += lev.n
+        sp.set(n_entries=n)
     return IcaTable(pivot=pivot, levels=levels, cos1=cos1, cos2=cos2, n_entries=n)

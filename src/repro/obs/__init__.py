@@ -1,0 +1,65 @@
+"""Unified observability: tracing, metrics, and structured run reports.
+
+Three layers, importable independently (``repro.obs`` never imports the
+engine — the engine imports *it* — so instrumentation can live anywhere
+without cycles):
+
+* :mod:`repro.obs.trace` — nested spans over the pipeline stages, a
+  no-op by default so benchmark numbers are unaffected;
+* :mod:`repro.obs.metrics` — counters / gauges / histograms the CD runs
+  accumulate into (check counts, table sizes, per-thread distributions);
+* :mod:`repro.obs.report` — serializes one run to JSON and diffs two
+  runs for regressions (``repro-bench compare``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from repro.obs.report import (
+    Comparison,
+    Delta,
+    RunReport,
+    build_report,
+    compare,
+    load_report,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    SpanRecord,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "Comparison",
+    "Delta",
+    "RunReport",
+    "build_report",
+    "compare",
+    "load_report",
+    "NULL_TRACER",
+    "NullTracer",
+    "SpanRecord",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing_enabled",
+    "use_tracer",
+]

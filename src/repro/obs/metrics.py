@@ -1,0 +1,200 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Where the tracer answers "where did the time go", the registry answers
+"how much work happened": total check counts by type, memo-table hit
+volumes, per-thread visit distributions.  Instrumentation points grab
+the ambient registry with :func:`get_metrics` and accumulate into it;
+:class:`~repro.engine.counters.ThreadCounters` exports its per-thread
+arrays here at the end of every CD run (see ``ThreadCounters.export``).
+
+Metric types:
+
+* :class:`Counter` — monotone accumulator (int or float); ``inc()``.
+* :class:`Gauge` — last-write-wins value; ``set()``.
+* :class:`Histogram` — running count/sum/min/max plus power-of-two
+  bucket counts; ``observe()`` / vectorized ``observe_many()``.
+
+Unlike tracing, metric accumulation is always on (a handful of scalar
+adds per CD run — far below measurement noise); swap in a fresh registry
+with :func:`use_metrics` to scope collection to one report.
+"""
+
+from __future__ import annotations
+
+import math
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+]
+
+
+class Counter:
+    """Monotonically increasing accumulator."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = None
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Running summary stats plus power-of-two bucket counts.
+
+    Bucket ``i`` counts observations in ``[2^(i-1), 2^i)`` (bucket 0 is
+    ``[0, 1)``), which suits the long-tailed per-thread check counts the
+    paper histograms in Figure 14 — exact quantiles are not needed for
+    regression tracking, the shape is.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    N_BUCKETS = 64
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets = [0] * self.N_BUCKETS
+
+    def observe(self, value) -> None:
+        self.observe_many(np.asarray([value], dtype=np.float64))
+
+    def observe_many(self, values) -> None:
+        """Vectorized observe over an array of non-negative values."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        if float(values.min()) < 0:
+            raise ValueError(f"histogram {self.name} takes non-negative values")
+        self.count += int(values.size)
+        self.total += float(values.sum())
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+        # log2 bucket index: [0,1) -> 0, [1,2) -> 1, [2,4) -> 2, ...
+        idx = np.zeros(values.shape, dtype=np.intp)
+        pos = values >= 1.0
+        idx[pos] = np.floor(np.log2(values[pos])).astype(np.intp) + 1
+        np.clip(idx, 0, self.N_BUCKETS - 1, out=idx)
+        for i, c in zip(*np.unique(idx, return_counts=True)):
+            self.buckets[int(i)] += int(c)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        hi = max((i for i, c in enumerate(self.buckets) if c), default=-1)
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": self.buckets[: hi + 1],
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get registry of named metrics."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def as_dict(self) -> dict[str, dict]:
+        """JSON-ready snapshot, ordered by metric name."""
+        return {name: self._metrics[name].to_dict() for name in self.names()}
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+
+_CURRENT = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The ambient registry instrumentation points accumulate into."""
+    return _CURRENT
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` (``None`` = fresh); returns the previous one."""
+    global _CURRENT
+    prev = _CURRENT
+    _CURRENT = registry if registry is not None else MetricsRegistry()
+    return prev
+
+
+@contextmanager
+def use_metrics(registry: MetricsRegistry | None = None):
+    """Scoped :func:`set_metrics`: collect into ``registry`` for the block."""
+    registry = registry if registry is not None else MetricsRegistry()
+    prev = set_metrics(registry)
+    try:
+        yield registry
+    finally:
+        set_metrics(prev)

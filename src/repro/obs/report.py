@@ -1,0 +1,283 @@
+"""Structured run reports and bench regression tracking.
+
+A :class:`RunReport` freezes one bench/CD run into a JSON document:
+what was run (``meta``: experiment names, scale, traversal config),
+where the time went (``spans`` from the tracer, plus per-name
+``span_totals``), how much work happened (``metrics`` from the
+registry), and the measured tables themselves (``results``).  Anything
+with a ``to_dict()`` — notably :class:`repro.cd.result.CDResult` — can
+sit in the payload; the serializer calls it, and converts NumPy scalars
+and arrays along the way.
+
+:func:`compare` is the regression gate: given a baseline and a current
+report it walks every tracked metric present in both and flags
+
+* *count* regressions — counter metrics (check counts, node visits)
+  whose value grew beyond ``count_threshold`` (counts are deterministic
+  at fixed seed/scale, so the default tolerance is tight), and
+* *time* regressions — ``*_s``/``*_ms`` counters (the simulated kernel
+  times) and per-span wall totals that grew beyond ``time_threshold``
+  (wall clocks are noisy, so the default tolerance is loose).
+
+``repro-bench compare baseline.json current.json`` wraps this and exits
+nonzero when any regression is flagged, making it a CI gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry, get_metrics
+from repro.obs.trace import get_tracer
+
+__all__ = [
+    "SCHEMA",
+    "RunReport",
+    "build_report",
+    "load_report",
+    "Delta",
+    "Comparison",
+    "compare",
+]
+
+SCHEMA = "repro.obs.report/v1"
+
+
+def _json_default(obj):
+    """Serializer fallback: ``to_dict()`` protocols and NumPy types."""
+    if hasattr(obj, "to_dict"):
+        return obj.to_dict()
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _roundtrip(payload) -> dict:
+    """Force the payload through the serializer so it is plain-JSON data."""
+    return json.loads(json.dumps(payload, default=_json_default))
+
+
+@dataclass
+class RunReport:
+    """One run's telemetry, ready to write to / read from JSON."""
+
+    label: str
+    meta: dict = field(default_factory=dict)
+    spans: list = field(default_factory=list)
+    span_totals: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    results: list = field(default_factory=list)
+    schema: str = SCHEMA
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "label": self.label,
+            "meta": self.meta,
+            "spans": self.spans,
+            "span_totals": self.span_totals,
+            "metrics": self.metrics,
+            "results": self.results,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RunReport":
+        if not isinstance(d, dict) or "schema" not in d:
+            raise ValueError("not a repro.obs run report (missing 'schema')")
+        if not str(d["schema"]).startswith("repro.obs.report/"):
+            raise ValueError(f"unknown report schema {d['schema']!r}")
+        return cls(
+            label=d.get("label", ""),
+            meta=d.get("meta", {}),
+            spans=d.get("spans", []),
+            span_totals=d.get("span_totals", {}),
+            metrics=d.get("metrics", {}),
+            results=d.get("results", []),
+            schema=d["schema"],
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), default=_json_default, indent=indent)
+
+    def save(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    def span_names(self) -> set[str]:
+        return {s["name"] for s in self.spans}
+
+
+def build_report(
+    label: str,
+    *,
+    tracer=None,
+    metrics: MetricsRegistry | None = None,
+    meta: dict | None = None,
+    results: list | None = None,
+) -> RunReport:
+    """Snapshot the (given or ambient) tracer + registry into a report.
+
+    ``results`` may contain anything the serializer handles — experiment
+    row dicts, :class:`~repro.cd.result.CDResult` objects, NumPy arrays;
+    everything is normalized to plain JSON data inside the report.
+    """
+    tracer = tracer if tracer is not None else get_tracer()
+    metrics = metrics if metrics is not None else get_metrics()
+    return RunReport(
+        label=label,
+        meta=_roundtrip(meta or {}),
+        spans=tracer.to_dicts(),
+        span_totals=tracer.totals(),
+        metrics=metrics.as_dict(),
+        results=_roundtrip(results or []),
+    )
+
+
+def load_report(path) -> RunReport:
+    with open(path, "r", encoding="utf-8") as fh:
+        return RunReport.from_dict(json.load(fh))
+
+
+# ---------------------------------------------------------------------------
+# Regression comparison
+# ---------------------------------------------------------------------------
+
+_TIME_SUFFIXES = ("_s", "_ms", ".wall_s", ".cpu_s")
+
+
+def _is_time_metric(name: str) -> bool:
+    return name.endswith(_TIME_SUFFIXES)
+
+
+@dataclass(frozen=True)
+class Delta:
+    """One tracked metric's movement between two reports."""
+
+    metric: str
+    kind: str  # "time" | "count"
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline == 0:
+            return float("inf") if self.current else 1.0
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        pct = (self.ratio - 1.0) * 100.0
+        sign = "+" if pct >= 0 else ""
+        return (
+            f"{self.metric} [{self.kind}]: {self.baseline:g} -> {self.current:g} "
+            f"({sign}{pct:.1f}%)"
+        )
+
+
+@dataclass
+class Comparison:
+    """Result of :func:`compare`: what was checked and what moved."""
+
+    regressions: list[Delta]
+    improvements: list[Delta]
+    checked: int
+    time_threshold: float
+    count_threshold: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"compared {self.checked} tracked metrics "
+            f"(time tol {self.time_threshold:.0%}, count tol {self.count_threshold:.0%})"
+        ]
+        for d in self.regressions:
+            lines.append(f"  REGRESSION  {d.describe()}")
+        for d in self.improvements:
+            lines.append(f"  improvement {d.describe()}")
+        if self.ok:
+            lines.append("  no regressions")
+        return "\n".join(lines)
+
+
+def _counter_values(report: RunReport) -> dict[str, float]:
+    out = {}
+    for name, m in report.metrics.items():
+        if m.get("type") == "counter" and isinstance(m.get("value"), (int, float)):
+            out[name] = float(m["value"])
+    return out
+
+
+def _span_wall_values(report: RunReport) -> dict[str, float]:
+    out = {}
+    for name, agg in report.span_totals.items():
+        wall = agg.get("wall_s")
+        if isinstance(wall, (int, float)):
+            out[f"span.{name}.wall_s"] = float(wall)
+    return out
+
+
+def compare(
+    baseline: RunReport,
+    current: RunReport,
+    *,
+    time_threshold: float = 0.25,
+    count_threshold: float = 0.01,
+    min_time_delta_s: float = 0.01,
+) -> Comparison:
+    """Flag tracked metrics that moved beyond their tolerance.
+
+    Only metrics present in *both* reports are compared (a renamed or
+    newly added metric is not a regression).  Growth beyond the
+    tolerance is a regression; shrinkage beyond it is reported as an
+    improvement (informational — it never fails the gate).
+
+    Time metrics additionally need an *absolute* movement of at least
+    ``min_time_delta_s`` — a microsecond-scale span doubling is clock
+    noise, not a regression worth failing CI over.
+    """
+    regressions: list[Delta] = []
+    improvements: list[Delta] = []
+    checked = 0
+
+    base_counters = _counter_values(baseline)
+    cur_counters = _counter_values(current)
+    base_spans = _span_wall_values(baseline)
+    cur_spans = _span_wall_values(current)
+
+    tracked = [
+        (name, base_counters[name], cur_counters[name], _is_time_metric(name))
+        for name in sorted(set(base_counters) & set(cur_counters))
+    ] + [
+        (name, base_spans[name], cur_spans[name], True)
+        for name in sorted(set(base_spans) & set(cur_spans))
+    ]
+
+    for name, base_v, cur_v, is_time in tracked:
+        checked += 1
+        threshold = time_threshold if is_time else count_threshold
+        floor = min_time_delta_s if is_time else 0.0
+        kind = "time" if is_time else "count"
+        delta = Delta(metric=name, kind=kind, baseline=base_v, current=cur_v)
+        if cur_v > base_v * (1.0 + threshold) and cur_v - base_v > floor:
+            regressions.append(delta)
+        elif cur_v < base_v * (1.0 - threshold) and base_v - cur_v > floor:
+            improvements.append(delta)
+    return Comparison(
+        regressions=regressions,
+        improvements=improvements,
+        checked=checked,
+        time_threshold=time_threshold,
+        count_threshold=count_threshold,
+    )

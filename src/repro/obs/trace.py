@@ -1,0 +1,235 @@
+"""Span-based tracing for CD runs and bench experiments.
+
+A *span* is one timed region of the pipeline — ``octree.build``,
+``ica.table.build``, one traversal level — with wall/CPU durations and
+arbitrary key-value attributes.  Spans nest: the tracer keeps an active
+stack so each record knows its parent and depth, and a finished trace is
+a flat list that any consumer can rebuild into a tree (``parent`` is an
+index into the list, ``-1`` for roots).
+
+Tracing must never perturb the numbers it exists to measure, so the
+*default* tracer is a shared no-op whose ``span()`` returns a cached
+singleton context manager — the disabled cost of an instrumentation
+point is one attribute lookup and one method call, with no allocation.
+A real :class:`Tracer` is installed either explicitly::
+
+    from repro.obs.trace import Tracer, use_tracer
+
+    with use_tracer(Tracer()) as tr:
+        run_cd(scene, grid, AICA())
+    print(tr.totals()["cd.run"])
+
+or process-wide by setting ``REPRO_TRACE=1`` in the environment before
+the first ``repro`` import (the CLI's ``--json`` / ``--trace`` flags do
+the explicit installation for you).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "tracing_enabled",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished (or in-flight) span."""
+
+    name: str
+    t0: float  # wall-clock start, seconds since the tracer's epoch
+    wall_s: float = 0.0
+    cpu_s: float = 0.0
+    depth: int = 0
+    parent: int = -1  # index into Tracer.records; -1 = root span
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "t0": self.t0,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+class _Span:
+    """Context manager for one active span of a real :class:`Tracer`."""
+
+    __slots__ = ("_tracer", "index", "_w0", "_c0")
+
+    def __init__(self, tracer: "Tracer", index: int) -> None:
+        self._tracer = tracer
+        self.index = index
+        self._w0 = time.perf_counter()
+        self._c0 = time.process_time()
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to the span (overwrites existing keys)."""
+        self._tracer.records[self.index].attrs.update(attrs)
+
+    def __enter__(self) -> "_Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        rec = self._tracer.records[self.index]
+        rec.wall_s = time.perf_counter() - self._w0
+        rec.cpu_s = time.process_time() - self._c0
+        if exc_type is not None:
+            rec.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self.index)
+        return False
+
+
+class Tracer:
+    """Records nested spans; one instance per run/report."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.records: list[SpanRecord] = []
+        self._stack: list[int] = []
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attrs) -> _Span:
+        """Open a span; use as ``with tracer.span("cd.run", key=val) as sp:``."""
+        parent = self._stack[-1] if self._stack else -1
+        rec = SpanRecord(
+            name=name,
+            t0=time.perf_counter() - self._epoch,
+            depth=len(self._stack),
+            parent=parent,
+            attrs=dict(attrs),
+        )
+        index = len(self.records)
+        self.records.append(rec)
+        self._stack.append(index)
+        return _Span(self, index)
+
+    def _pop(self, index: int) -> None:
+        if self._stack and self._stack[-1] == index:
+            self._stack.pop()
+        elif index in self._stack:  # tolerate out-of-order exits
+            self._stack.remove(index)
+
+    # -- consumption ------------------------------------------------------
+
+    def totals(self) -> dict[str, dict]:
+        """Aggregate finished spans by name: count and wall/CPU sums.
+
+        Only top-of-kind occurrences are *not* deduplicated — a span name
+        appearing at several depths sums over all of them, which is the
+        behaviour regression tracking wants (total time attributed to
+        that stage across the run).
+        """
+        out: dict[str, dict] = {}
+        for rec in self.records:
+            agg = out.setdefault(rec.name, {"count": 0, "wall_s": 0.0, "cpu_s": 0.0})
+            agg["count"] += 1
+            agg["wall_s"] += rec.wall_s
+            agg["cpu_s"] += rec.cpu_s
+        return out
+
+    def to_dicts(self) -> list[dict]:
+        return [rec.to_dict() for rec in self.records]
+
+    def names(self) -> set[str]:
+        return {rec.name for rec in self.records}
+
+    def reset(self) -> None:
+        self.records.clear()
+        self._stack.clear()
+        self._epoch = time.perf_counter()
+
+
+class _NullSpan:
+    """Shared do-nothing span; one instance serves every disabled call."""
+
+    __slots__ = ()
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The zero-cost default: records nothing, allocates nothing."""
+
+    enabled = False
+    records: tuple = ()
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def totals(self) -> dict:
+        return {}
+
+    def to_dicts(self) -> list:
+        return []
+
+    def names(self) -> set:
+        return set()
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()
+
+
+def _tracer_from_env():
+    if os.environ.get("REPRO_TRACE", "").strip().lower() in {"1", "true", "yes", "on"}:
+        return Tracer()
+    return NULL_TRACER
+
+
+_CURRENT = _tracer_from_env()
+
+
+def get_tracer():
+    """The process-wide tracer instrumentation points report to."""
+    return _CURRENT
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` (``None`` = disable); returns the previous one."""
+    global _CURRENT
+    prev = _CURRENT
+    _CURRENT = tracer if tracer is not None else NULL_TRACER
+    return prev
+
+
+@contextmanager
+def use_tracer(tracer):
+    """Scoped :func:`set_tracer`: installs for the block, then restores."""
+    prev = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(prev)
+
+
+def tracing_enabled() -> bool:
+    return _CURRENT.enabled

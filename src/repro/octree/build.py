@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.geometry.aabb import AABB
+from repro.obs.trace import get_tracer
 from repro.octree.linear import LinearOctree, OctreeLevel, STATUS_FULL, STATUS_MIXED
 from repro.octree.morton import morton_decode, morton_encode
 from repro.solids.sdf import SDF
@@ -67,6 +68,13 @@ def build_from_sdf(sdf: SDF, domain: AABB, resolution: int, *, chunk: int = 2621
     deletes provisionally-MIXED cells none of whose descendants turned
     out solid.
     """
+    with get_tracer().span("octree.build", resolution=resolution, source="sdf") as sp:
+        tree = _build_from_sdf(sdf, domain, resolution, chunk=chunk)
+        sp.set(nodes=tree.total_nodes, depth=tree.depth)
+    return tree
+
+
+def _build_from_sdf(sdf: SDF, domain: AABB, resolution: int, *, chunk: int) -> LinearOctree:
     depth = depth_for_resolution(resolution)
     lo = np.asarray(domain.lo, dtype=np.float64)
     edge = float(domain.size[0])
@@ -170,6 +178,13 @@ def expand_top(tree: LinearOctree, start_level: int = 5) -> LinearOctree:
     L0 = min(int(start_level), tree.depth)
     if L0 <= 0:
         return tree
+    with get_tracer().span("octree.expand_top", start_level=L0) as sp:
+        expanded = _expand_top(tree, L0)
+        sp.set(nodes=expanded.total_nodes)
+    return expanded
+
+
+def _expand_top(tree: LinearOctree, L0: int) -> LinearOctree:
 
     # extra[t] collects descendant cells to add at level t: MIXED chain
     # cells for t < L0, the FULL payload cells at t == L0.

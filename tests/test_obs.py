@@ -1,0 +1,346 @@
+"""The observability subsystem: tracing, metrics, reports, regression gate."""
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import build_workload
+from repro.cd import AICA, MICA, run_cd
+from repro.geometry.orientation import OrientationGrid
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    use_metrics,
+)
+from repro.obs.report import (
+    RunReport,
+    build_report,
+    compare,
+    load_report,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing_enabled,
+    use_tracer,
+)
+
+
+class TestTracer:
+    def test_default_is_noop(self):
+        assert isinstance(get_tracer(), NullTracer)
+        assert not tracing_enabled()
+        # span() on the null tracer works and records nothing
+        with get_tracer().span("anything", key=1) as sp:
+            sp.set(more=2)
+        assert get_tracer().to_dicts() == []
+
+    def test_nesting_and_parents(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner.a"):
+                pass
+            with tr.span("inner.b"):
+                with tr.span("leaf"):
+                    pass
+        names = [r.name for r in tr.records]
+        assert names == ["outer", "inner.a", "inner.b", "leaf"]
+        outer, a, b, leaf = tr.records
+        assert outer.parent == -1 and outer.depth == 0
+        assert a.parent == 0 and a.depth == 1
+        assert b.parent == 0 and b.depth == 1
+        assert leaf.parent == 2 and leaf.depth == 2
+
+    def test_timing_and_containment(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                time.sleep(0.01)
+        outer, inner = tr.records
+        assert inner.wall_s >= 0.01
+        assert outer.wall_s >= inner.wall_s
+        assert outer.cpu_s >= 0.0
+
+    def test_attributes(self):
+        tr = Tracer()
+        with tr.span("s", level=3) as sp:
+            sp.set(pairs=128, level=4)
+        assert tr.records[0].attrs == {"level": 4, "pairs": 128}
+
+    def test_error_annotated(self):
+        tr = Tracer()
+        with pytest.raises(ValueError):
+            with tr.span("s"):
+                raise ValueError("boom")
+        assert tr.records[0].attrs["error"] == "ValueError"
+        assert tr.records[0].wall_s >= 0.0
+
+    def test_totals_aggregate_by_name(self):
+        tr = Tracer()
+        for _ in range(3):
+            with tr.span("cd.level"):
+                pass
+        totals = tr.totals()
+        assert totals["cd.level"]["count"] == 3
+        assert totals["cd.level"]["wall_s"] >= 0.0
+
+    def test_use_tracer_restores(self):
+        tr = Tracer()
+        before = get_tracer()
+        with use_tracer(tr) as active:
+            assert get_tracer() is tr is active
+        assert get_tracer() is before
+
+    def test_set_tracer_none_disables(self):
+        prev = set_tracer(None)
+        try:
+            assert get_tracer() is NULL_TRACER
+        finally:
+            set_tracer(prev)
+
+
+class TestMetrics:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.counter("c").inc(4)
+        assert reg.counter("c").value == 5
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_gauge(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.5)
+        reg.gauge("g").set(0.5)
+        assert reg.gauge("g").value == 0.5
+
+    def test_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(0.0)
+        h.observe_many(np.array([1, 2, 3, 1000]))
+        assert h.count == 5
+        assert h.min == 0.0 and h.max == 1000.0
+        assert h.mean == pytest.approx(1006 / 5)
+        d = h.to_dict()
+        assert sum(d["buckets"]) == 5
+        assert d["buckets"][0] == 1  # the [0,1) observation
+
+    def test_type_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_as_dict_sorted_and_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc(np.int64(3))
+        reg.gauge("a").set(1.0)
+        d = reg.as_dict()
+        assert list(d) == ["a", "b"]
+        json.dumps(d, default=int)
+
+    def test_use_metrics_scopes(self):
+        before = get_metrics()
+        with use_metrics() as reg:
+            assert get_metrics() is reg
+            reg.counter("scoped").inc()
+        assert get_metrics() is before
+        assert "scoped" not in before
+
+    def test_thread_counters_export(self):
+        from repro.engine.counters import ThreadCounters
+
+        tc = ThreadCounters(n_threads=4, n_cyl=2)
+        tc.box_checks[:] = [1, 2, 3, 4]
+        tc.ica_fly_checks[:] = 1
+        tc.nodes_visited[:] = [10, 0, 5, 7]
+        reg = MetricsRegistry()
+        tc.export(reg, prefix="cd")
+        assert reg.counter("cd.box_checks").value == 10
+        assert reg.counter("cd.total_checks").value == 14
+        assert reg.gauge("cd.critical_thread_checks").value == 10
+        assert reg.histogram("cd.nodes_visited_per_thread").count == 4
+
+
+class TestReport:
+    def _report(self, **over):
+        tr = Tracer()
+        reg = MetricsRegistry()
+        with tr.span("cd.run"):
+            with tr.span("cd.level"):
+                pass
+        reg.counter("cd.total_checks").inc(100)
+        reg.counter("cd.sim_cd_s").inc(2.0)
+        kwargs = dict(tracer=tr, metrics=reg, meta={"scale": "smoke"})
+        kwargs.update(over)
+        return build_report("test", **kwargs)
+
+    def test_json_roundtrip(self, tmp_path):
+        rep = self._report(results=[{"rows": [[np.int64(1), np.float64(0.5)]]}])
+        path = tmp_path / "r.json"
+        rep.save(path)
+        loaded = load_report(path)
+        assert loaded.to_dict() == rep.to_dict()
+        assert loaded.results[0]["rows"] == [[1, 0.5]]
+        assert loaded.span_names() == {"cd.run", "cd.level"}
+        assert loaded.metrics["cd.total_checks"]["value"] == 100
+
+    def test_cd_result_in_payload(self):
+        wl = build_workload("head", 16, n_pivots=1)
+        r = run_cd(wl.scene(0), OrientationGrid.square(4), AICA())
+        rep = build_report("cd", tracer=Tracer(), metrics=MetricsRegistry(), results=[r])
+        d = rep.results[0]
+        assert d["method"] == "AICA"
+        assert d["config"]["memo_levels"] == 8  # self-describing: traversal config
+        assert d["grid"] == {"m": 4, "n": 4, "size": 16}
+        assert d["summary"]["total_checks"] > 0
+        json.dumps(rep.to_dict())  # fully serialized already
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError):
+            load_report(path)
+
+    def test_compare_identical_ok(self):
+        rep = self._report()
+        cmp = compare(rep, rep)
+        assert cmp.ok
+        assert cmp.checked >= 3  # 2 counters + 2 span names (cd.run, cd.level)
+        assert cmp.regressions == [] and cmp.improvements == []
+
+    def test_compare_flags_count_regression(self):
+        base = self._report()
+        cur = self._report()
+        cur.metrics["cd.total_checks"]["value"] = 103  # +3% > 1% tolerance
+        cmp = compare(base, cur)
+        assert not cmp.ok
+        assert [d.metric for d in cmp.regressions] == ["cd.total_checks"]
+        assert cmp.regressions[0].kind == "count"
+        assert "REGRESSION" in cmp.render()
+
+    def test_compare_time_tolerance(self):
+        base = self._report()
+        cur = self._report()
+        cur.metrics["cd.sim_cd_s"]["value"] = 2.4  # +20% < 25% tolerance
+        assert compare(base, cur).ok
+        cur.metrics["cd.sim_cd_s"]["value"] = 2.6  # +30% > 25% tolerance
+        cmp = compare(base, cur)
+        assert [d.metric for d in cmp.regressions] == ["cd.sim_cd_s"]
+        assert cmp.regressions[0].kind == "time"
+
+    def test_compare_span_wall_regression(self):
+        base = self._report()
+        cur = self._report()
+        cur.span_totals["cd.run"]["wall_s"] = base.span_totals["cd.run"]["wall_s"] * 10 + 1
+        cmp = compare(base, cur)
+        assert any(d.metric == "span.cd.run.wall_s" for d in cmp.regressions)
+
+    def test_compare_improvement_informational(self):
+        base = self._report()
+        cur = self._report()
+        cur.metrics["cd.total_checks"]["value"] = 50
+        cmp = compare(base, cur)
+        assert cmp.ok  # shrinking is never a failure
+        assert [d.metric for d in cmp.improvements] == ["cd.total_checks"]
+
+    def test_compare_ignores_unmatched_metrics(self):
+        base = self._report()
+        cur = self._report()
+        cur.metrics["new.metric"] = {"type": "counter", "value": 999}
+        assert compare(base, cur).ok
+
+
+class TestTracingNeutrality:
+    """Tracing on/off must not change any computed result."""
+
+    def test_traced_run_identical_maps(self):
+        wl = build_workload("head", 16, n_pivots=1, seed=3)
+        grid = OrientationGrid.square(6)
+        scene = wl.scene(0)
+        baseline = run_cd(scene, grid, MICA())  # default: no-op tracer
+        with use_tracer(Tracer()) as tr, use_metrics(MetricsRegistry()):
+            traced = run_cd(scene, grid, MICA())
+        assert tr.records, "tracer saw no spans"
+        assert np.array_equal(baseline.collides, traced.collides)
+        assert np.array_equal(
+            baseline.counters.nodes_visited, traced.counters.nodes_visited
+        )
+        assert baseline.counters.total_checks == traced.counters.total_checks
+        assert baseline.timing.total_s == traced.timing.total_s  # simulated: exact
+
+
+class TestCli:
+    def test_json_report(self, tmp_path, capsys):
+        from repro.bench.runner import clear_caches
+        from repro.cli import main
+
+        clear_caches()  # cold caches so the octree build happens under the tracer
+        path = tmp_path / "out.json"
+        assert main(["fig18", "--scale", "smoke", "--json", str(path)]) == 0
+        rep = load_report(path)
+        names = rep.span_names()
+        assert {"octree.build", "ica.table.build", "cd.traversal", "cd.run"} <= names
+        assert rep.meta["scale"] == "smoke"
+        assert rep.results[0]["exp_id"] == "fig18"
+        assert rep.metrics["cd.total_checks"]["value"] > 0
+
+    def test_compare_cli(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["table2", "--scale", "smoke", "--json", str(a)]) == 0
+        rep = load_report(a)
+        rep.metrics["synthetic.checks"] = {"type": "counter", "value": 100}
+        rep.save(b)
+        base = load_report(a)
+        base.metrics["synthetic.checks"] = {"type": "counter", "value": 50}
+        base.save(a)
+        assert main(["compare", str(a), str(a)]) == 0
+        assert main(["compare", str(a), str(b)]) == 1  # 2x the checks
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "synthetic.checks" in out
+
+    def test_compare_missing_file(self, capsys):
+        from repro.cli import main
+
+        assert main(["compare", "/nonexistent/a.json", "/nonexistent/b.json"]) == 2
+
+    def test_all_aggregates_failures(self, monkeypatch, capsys):
+        import repro.cli as cli
+
+        def crashing(scale):
+            raise RuntimeError("synthetic failure")
+
+        ran = []
+
+        def working(scale):
+            ran.append("ok")
+            from repro.bench.experiments import table2
+
+            return table2(scale)
+
+        monkeypatch.setattr(
+            cli, "ALL_EXPERIMENTS", {"boom": crashing, "fine": working}
+        )
+        # The crash is reported, the remaining experiment still runs, and
+        # the failure lands in the exit code instead of aborting the loop.
+        assert cli.main(["all", "--scale", "smoke"]) == 1
+        assert ran == ["ok"]
+        err = capsys.readouterr().err
+        assert "boom FAILED" in err and "synthetic failure" in err
+
+    def test_trace_flag_prints_summary(self, capsys):
+        from repro.cli import main
+
+        assert main(["table2", "--scale", "smoke", "--trace"]) == 0
+        assert "trace summary" in capsys.readouterr().err

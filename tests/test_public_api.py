@@ -27,6 +27,7 @@ class TestTopLevelExports:
             "repro.ica",
             "repro.engine",
             "repro.cd",
+            "repro.obs",
             "repro.path",
             "repro.milling",
             "repro.bench",
