@@ -130,6 +130,7 @@ def run_workload(
     device: DeviceSpec = GTX_1080_TI,
     costs: CostModel = DEFAULT_COSTS,
     config: TraversalConfig = TraversalConfig(),
+    workers: int | None = None,
 ) -> dict:
     """Run ``method`` at every pivot and average the summaries.
 
@@ -137,6 +138,10 @@ def run_workload(
     :meth:`repro.cd.result.CDResult.summary`, plus ``n_pivots`` and the
     last pivot's full :class:`CDResult` under ``"last_result"`` (for
     figures that need per-thread arrays).
+
+    ``workers`` is forwarded to :func:`repro.cd.run_cd` (default: the
+    config's worker count, then ``REPRO_WORKERS``, then serial); each
+    pivot's run shards its orientation blocks over the pool.
     """
     tracer = get_tracer()
     summaries: list[dict] = []
@@ -152,7 +157,7 @@ def run_workload(
             with tracer.span("cd.pivot", index=i):
                 last = run_cd(
                     workload.scene(i), grid, method,
-                    device=device, costs=costs, config=config,
+                    device=device, costs=costs, config=config, workers=workers,
                 )
             summaries.append(last.summary())
 

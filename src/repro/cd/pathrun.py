@@ -76,16 +76,31 @@ def run_along_path(
     device: DeviceSpec = GTX_1080_TI,
     costs: CostModel = DEFAULT_COSTS,
     config: TraversalConfig = TraversalConfig(),
+    workers: int | None = None,
 ) -> PathRunResult:
     """Exact accessibility maps at every pivot, in path order.
 
     The pivots should be ordered along the path (as
     :func:`repro.path.offset.offset_path` returns them) so the overlap
     statistics describe true neighbors.
+
+    ``workers`` (else ``config.workers``, else ``REPRO_WORKERS``) above
+    1 shards the *pivots* across a process pool — the natural axis here,
+    since each pivot is an independent CD problem; the per-pivot results
+    are byte-identical to the serial loop.  A single-pivot path instead
+    falls through to ``run_cd``'s own orientation sharding.
     """
+    from repro.engine.pool import resolve_workers, run_along_path_parallel
+
     pivots = np.asarray(pivots, dtype=np.float64)
     if pivots.ndim != 2 or pivots.shape[1] != 3:
         raise ValueError("pivots must be (n, 3)")
+    n_workers = resolve_workers(workers if workers is not None else config.workers)
+    if n_workers > 1 and len(pivots) > 1:
+        return run_along_path_parallel(
+            tree, tool, pivots, grid, method,
+            device=device, costs=costs, config=config, workers=n_workers,
+        )
     tracer = get_tracer()
     results = []
     for i, p in enumerate(pivots):

@@ -59,13 +59,24 @@ class TraversalConfig:
     ``start_level`` is the paper's top-level expansion (top 5 levels
     collapsed into one 32^3 base level); ``memo_levels`` is the paper's
     ``S`` (stage-1 precompute depth, default 8); ``thread_block`` bounds
-    the number of orientations processed per frontier sweep.
+    the number of orientations processed per frontier sweep;
+    ``max_pairs`` bounds how many (thread, node) pairs a single
+    ``method.decide`` call may see — larger frontiers are classified in
+    chunks, capping the peak working set of a level (the decision
+    kernels allocate a dozen temporaries per pair).
+
+    ``workers`` selects the execution engine: ``1`` is the serial
+    reference path, ``N > 1`` shards the workload over ``N`` OS
+    processes via :mod:`repro.engine.pool`, and ``None`` (the default)
+    defers to the ``REPRO_WORKERS`` environment variable (itself
+    defaulting to 1).  Results are byte-identical for any worker count.
     """
 
     start_level: int = 5
     memo_levels: int = 8
     thread_block: int = 2048
     max_pairs: int = 4_000_000  # frontier chunking threshold inside a block
+    workers: int | None = None  # None = resolve from REPRO_WORKERS (default 1)
 
 
 @dataclass
@@ -206,6 +217,156 @@ def _advance(rt: Runtime, wave: Wave, outcomes: np.ndarray, collides: np.ndarray
     )
 
 
+def _subwave(wave: Wave, a: int, b: int) -> Wave:
+    """The ``[a:b)`` slice of a wave's pair arrays (views, no copies)."""
+    return Wave(
+        level=wave.level,
+        threads=wave.threads[a:b],
+        codes=wave.codes[a:b],
+        idx=wave.idx[a:b],
+        status=wave.status[a:b],
+        centers=wave.centers[a:b],
+        half=wave.half,
+        dirs=wave.dirs[a:b],
+    )
+
+
+def _decide_chunked(rt: Runtime, method, wave: Wave) -> np.ndarray:
+    """``method.decide`` with the frontier split into <= max_pairs chunks.
+
+    Every decision kernel is per-pair pure and charges counters per pair,
+    so splitting a level's pair arrays changes neither outcomes nor
+    counters — only the peak size of the kernel's temporaries.
+    """
+    cap = int(rt.config.max_pairs)
+    if cap <= 0 or wave.size <= cap:
+        return method.decide(rt, wave)
+    outcomes = np.empty(wave.size, dtype=np.uint8)
+    for a in range(0, wave.size, cap):
+        b = min(a + cap, wave.size)
+        outcomes[a:b] = method.decide(rt, _subwave(wave, a, b))
+    return outcomes
+
+
+def _traverse_range(
+    rt: Runtime,
+    method,
+    L0: int,
+    base_codes: np.ndarray,
+    base_idx: np.ndarray,
+    base_status: np.ndarray,
+    collides: np.ndarray,
+    t_start: int,
+    t_end: int,
+) -> None:
+    """Run the frontier traversal for threads ``[t_start, t_end)``.
+
+    Mutates ``collides`` and ``rt.counters`` for exactly those threads;
+    threads are independent (a thread's pairs never read another
+    thread's state), so any partition of ``[0, M)`` into ranges produces
+    the same totals — the property the worker pool relies on.
+    """
+    tracer = get_tracer()
+    tree = rt.scene.tree
+    counters = rt.counters
+    M = counters.n_threads
+    for t0 in range(t_start, t_end, rt.config.thread_block):
+        t1 = min(t0 + rt.config.thread_block, t_end)
+        block = np.arange(t0, t1, dtype=np.intp)
+        threads = np.repeat(block, len(base_codes))
+        codes = np.tile(base_codes, len(block))
+        idx = np.tile(base_idx, len(block))
+        status = np.tile(base_status, len(block))
+
+        level = L0
+        while len(threads):
+            with tracer.span("cd.level", level=level, pairs=len(threads)):
+                centers = tree.centers_of_codes(level, codes)
+                wave = Wave(
+                    level=level,
+                    threads=threads,
+                    codes=codes,
+                    idx=idx,
+                    status=status,
+                    centers=centers,
+                    half=tree.cell_half(level),
+                    dirs=rt.all_dirs[threads],
+                )
+                counters.add_threads("nodes_visited", threads, M)
+                outcomes = _decide_chunked(rt, method, wave)
+                threads, codes, idx, status = _advance(rt, wave, outcomes, collides)
+            level += 1
+            if level > tree.depth:
+                break
+
+
+def _export_run_metrics(
+    counters: ThreadCounters,
+    table_entries: int,
+    cd_s: float,
+    pre_s: float,
+    wall: float,
+) -> None:
+    """One CD run's contribution to the ambient metrics registry.
+
+    Shared by the serial path and the pool's parent-side merge so that a
+    parallel run exports exactly the counts a serial run would.
+    """
+    metrics = get_metrics()
+    counters.export(metrics, prefix="cd")
+    metrics.counter("cd.runs").inc()
+    metrics.counter("cd.table_entries").inc(table_entries)
+    metrics.counter("cd.sim_cd_s").inc(cd_s)
+    metrics.counter("cd.sim_precompute_s").inc(pre_s)
+    metrics.counter("cd.wall_s").inc(wall)
+
+
+def _finalize_run(
+    scene: Scene,
+    grid: OrientationGrid,
+    method,
+    *,
+    device: DeviceSpec,
+    costs: CostModel,
+    config: TraversalConfig,
+    collides: np.ndarray,
+    counters: ThreadCounters,
+    table_entries: int,
+    run_sp,
+    t_wall0: float,
+) -> CDResult:
+    """SIMT simulation + metrics export + result assembly for one run.
+
+    Runs once per CD run on the (possibly merged) counters, whether the
+    traversal executed serially or across a worker pool.
+    """
+    wall = time.perf_counter() - t_wall0
+    cd_s = simulate_kernel(counters.thread_ops(costs), device)
+    pre_s = (
+        simulate_stage(costs.ica_precompute(scene.n_cylinders), table_entries, device)
+        if table_entries
+        else 0.0
+    )
+    run_sp.set(
+        colliding=int(collides.sum()),
+        total_checks=counters.total_checks,
+        table_entries=table_entries,
+        sim_cd_s=cd_s,
+        sim_precompute_s=pre_s,
+    )
+    _export_run_metrics(counters, table_entries, cd_s, pre_s, wall)
+    return CDResult(
+        method=method.name,
+        grid=grid,
+        collides=collides,
+        counters=counters,
+        timing=StageBreakdown(ica_precompute_s=pre_s, cd_tests_s=cd_s, wall_s=wall),
+        device_name=device.name,
+        table_entries=table_entries,
+        config=config,
+    )
+
+
 def run_cd(
     scene: Scene,
     grid: OrientationGrid,
@@ -214,6 +375,7 @@ def run_cd(
     device: DeviceSpec = GTX_1080_TI,
     costs: CostModel = DEFAULT_COSTS,
     config: TraversalConfig = TraversalConfig(),
+    workers: int | None = None,
 ) -> CDResult:
     """Generate the accessibility map for ``scene`` with ``method``.
 
@@ -221,7 +383,22 @@ def run_cd(
     a :class:`CDResult` whose counters and timing cover both traversal
     stages (the ICA precompute, when the method uses one, and the CD
     tests).
+
+    ``workers`` overrides ``config.workers`` (which itself defaults to
+    the ``REPRO_WORKERS`` environment variable, then 1).  With ``N > 1``
+    the orientation thread-blocks are sharded over ``N`` processes by
+    :mod:`repro.engine.pool`; the map and counters are byte-identical to
+    the serial path for every method.
     """
+    from repro.engine.pool import resolve_workers, run_cd_parallel
+
+    n_workers = resolve_workers(workers if workers is not None else config.workers)
+    if n_workers > 1 and grid.size > 1:
+        return run_cd_parallel(
+            scene, grid, method,
+            device=device, costs=costs, config=config, workers=n_workers,
+        )
+
     t_wall0 = time.perf_counter()
     tracer = get_tracer()
     M = grid.size
@@ -238,69 +415,15 @@ def run_cd(
 
         L0, base_codes, base_idx, base_status = initial_frontier(scene, config.start_level)
         collides = np.zeros(M, dtype=bool)
-        tree = scene.tree
 
         with tracer.span("cd.traversal", start_level=L0):
-            for t0 in range(0, M, config.thread_block):
-                t1 = min(t0 + config.thread_block, M)
-                block = np.arange(t0, t1, dtype=np.intp)
-                nb = len(base_codes)
-                threads = np.repeat(block, nb)
-                codes = np.tile(base_codes, len(block))
-                idx = np.tile(base_idx, len(block))
-                status = np.tile(base_status, len(block))
+            _traverse_range(
+                rt, method, L0, base_codes, base_idx, base_status, collides, 0, M
+            )
 
-                level = L0
-                while len(threads):
-                    with tracer.span("cd.level", level=level, pairs=len(threads)):
-                        centers = tree.centers_of_codes(level, codes)
-                        wave = Wave(
-                            level=level,
-                            threads=threads,
-                            codes=codes,
-                            idx=idx,
-                            status=status,
-                            centers=centers,
-                            half=tree.cell_half(level),
-                            dirs=rt.all_dirs[threads],
-                        )
-                        counters.add_threads("nodes_visited", threads, M)
-                        outcomes = method.decide(rt, wave)
-                        threads, codes, idx, status = _advance(rt, wave, outcomes, collides)
-                    level += 1
-                    if level > tree.depth:
-                        break
-
-        wall = time.perf_counter() - t_wall0
-        cd_s = simulate_kernel(counters.thread_ops(costs), device)
-        pre_s = (
-            simulate_stage(costs.ica_precompute(scene.n_cylinders), table_entries, device)
-            if table_entries
-            else 0.0
+        return _finalize_run(
+            scene, grid, method,
+            device=device, costs=costs, config=config,
+            collides=collides, counters=counters, table_entries=table_entries,
+            run_sp=run_sp, t_wall0=t_wall0,
         )
-        run_sp.set(
-            colliding=int(collides.sum()),
-            total_checks=counters.total_checks,
-            table_entries=table_entries,
-            sim_cd_s=cd_s,
-            sim_precompute_s=pre_s,
-        )
-
-    metrics = get_metrics()
-    counters.export(metrics, prefix="cd")
-    metrics.counter("cd.runs").inc()
-    metrics.counter("cd.table_entries").inc(table_entries)
-    metrics.counter("cd.sim_cd_s").inc(cd_s)
-    metrics.counter("cd.sim_precompute_s").inc(pre_s)
-    metrics.counter("cd.wall_s").inc(wall)
-
-    return CDResult(
-        method=method.name,
-        grid=grid,
-        collides=collides,
-        counters=counters,
-        timing=StageBreakdown(ica_precompute_s=pre_s, cd_tests_s=cd_s, wall_s=wall),
-        device_name=device.name,
-        table_entries=table_entries,
-        config=config,
-    )

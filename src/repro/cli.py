@@ -6,8 +6,10 @@ Usage::
     repro-bench fig16                 # run one experiment and print it
     repro-bench fig16 --json out.json # also write a structured run report
     repro-bench all                   # run everything (respects scale)
+    repro-bench fig16 --workers 4     # shard CD runs over 4 processes
     repro-bench compare a.json b.json # regression gate between two reports
     REPRO_BENCH_SCALE=medium repro-bench fig05
+    REPRO_WORKERS=4 repro-bench fig16 # env equivalent of --workers
 
 Exit codes: ``0`` success, ``1`` an experiment crashed (``all`` keeps
 going and aggregates) or ``compare`` flagged a regression, ``2`` usage
@@ -23,12 +25,14 @@ unperturbed.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 import traceback
 
 from repro.bench.config import SCALES, current_scale
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.engine.pool import resolve_workers
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.report import build_report, compare, load_report
 from repro.obs.trace import Tracer, get_tracer, use_tracer
@@ -76,7 +80,24 @@ def _main_run(argv: list[str]) -> int:
         action="store_true",
         help="enable tracing and print a span summary (implied by --json)",
     )
+    parser.add_argument(
+        "--workers",
+        metavar="N",
+        default=None,
+        help="worker processes for CD runs (int or 'auto'; overrides "
+        "REPRO_WORKERS; default 1 = serial)",
+    )
     args = parser.parse_args(argv)
+
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.workers is not None:
+        # Experiments build their own TraversalConfig instances; the env
+        # variable is the channel every run_cd resolves its default from.
+        os.environ["REPRO_WORKERS"] = str(workers)
 
     scale = SCALES[args.scale] if args.scale else current_scale()
 
@@ -126,6 +147,7 @@ def _main_run(argv: list[str]) -> int:
             metrics=metrics,
             meta={
                 "scale": scale.name,
+                "workers": workers,
                 "experiments": [r.exp_id for r in completed],
                 "failed": failures,
                 "argv": argv,

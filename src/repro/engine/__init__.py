@@ -19,12 +19,16 @@ from repro.engine.costs import CostModel, DEFAULT_COSTS
 from repro.engine.counters import ThreadCounters, StageBreakdown
 from repro.engine.simt import simulate_kernel, simulate_stage
 from repro.engine.autotune import TuneRow, tune_memo_levels
+from repro.engine.pool import SharedScene, WorkerPool, resolve_workers
 
 __all__ = [
     "DeviceSpec",
     "scaled_device",
     "TuneRow",
     "tune_memo_levels",
+    "SharedScene",
+    "WorkerPool",
+    "resolve_workers",
     "GTX_1080_TI",
     "GTX_1080",
     "DEVICES",

@@ -12,7 +12,7 @@ step — exactly how a CAM system would calibrate per installed GPU.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING
 
 from repro.engine.costs import CostModel, DEFAULT_COSTS
@@ -60,12 +60,9 @@ def tune_memo_levels(
         base_config = TraversalConfig()
     rows: list[TuneRow] = []
     for S in range(min_levels, scene.tree.depth + 2):
-        cfg = TraversalConfig(
-            start_level=base_config.start_level,
-            memo_levels=S,
-            thread_block=base_config.thread_block,
-            max_pairs=base_config.max_pairs,
-        )
+        # replace() keeps every other knob (max_pairs, workers, ...) of
+        # the caller's config instead of enumerating fields by hand.
+        cfg = replace(base_config, memo_levels=S)
         r = run_cd(scene, grid, method, device=device, costs=costs, config=cfg)
         rows.append(
             TuneRow(

@@ -67,13 +67,15 @@ def build_ica_table(
 ) -> IcaTable:
     """Compute the memoized table for the top ``levels`` octree levels.
 
-    ``levels`` defaults to the paper's ``S = 8`` capped at the tree depth.
-    The computation is one vectorized :func:`tool_ica_batch` call per
-    level — the direct analogue of the one-thread-per-voxel GPU kernel.
+    ``levels`` defaults to the paper's ``S = 8`` — the same default as
+    ``TraversalConfig.memo_levels`` — capped at the tree's level count
+    (``depth + 1``): levels ``0 .. S-1`` are memoized.  The computation
+    is one vectorized :func:`tool_ica_batch` call per level — the direct
+    analogue of the one-thread-per-voxel GPU kernel.
     """
     pivot = np.asarray(pivot, dtype=np.float64)
     if levels is None:
-        levels = min(8, tree.depth) + 1
+        levels = 8
     levels = int(min(levels, tree.depth + 1))
 
     with get_tracer().span("ica.table.build", levels=levels) as sp:

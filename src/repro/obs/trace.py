@@ -126,6 +126,37 @@ class Tracer:
         elif index in self._stack:  # tolerate out-of-order exits
             self._stack.remove(index)
 
+    def absorb(
+        self, records: list[dict], *, parent: int = -1, attrs: dict | None = None
+    ) -> None:
+        """Fold another tracer's finished spans (``to_dicts()`` form) in.
+
+        The worker pool uses this to merge per-worker traces into the
+        parent run's trace: each absorbed record keeps its name, timings
+        and attributes, its ``parent``/``depth`` are re-based so worker
+        roots hang under the record at index ``parent`` (``-1`` keeps
+        them as roots), and ``attrs`` is merged into the absorbed roots
+        (e.g. ``{"pool_worker": 3}``).  Absorbed ``t0`` values are on the
+        worker's epoch, not this tracer's — span durations and nesting
+        stay exact, absolute start offsets across processes do not.
+        """
+        offset = len(self.records)
+        base_depth = self.records[parent].depth + 1 if parent >= 0 else 0
+        for d in records:
+            is_root = d["parent"] < 0
+            rec = SpanRecord(
+                name=d["name"],
+                t0=d["t0"],
+                wall_s=d["wall_s"],
+                cpu_s=d["cpu_s"],
+                depth=base_depth + d["depth"],
+                parent=parent if is_root else offset + d["parent"],
+                attrs=dict(d["attrs"]),
+            )
+            if attrs and is_root:
+                rec.attrs.update(attrs)
+            self.records.append(rec)
+
     # -- consumption ------------------------------------------------------
 
     def totals(self) -> dict[str, dict]:
@@ -182,6 +213,9 @@ class NullTracer:
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
+
+    def absorb(self, records, *, parent: int = -1, attrs: dict | None = None) -> None:
+        pass
 
     def totals(self) -> dict:
         return {}

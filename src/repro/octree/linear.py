@@ -66,7 +66,9 @@ class LinearOctree:
     per edge.
     """
 
-    def __init__(self, domain: AABB, depth: int, levels: list[OctreeLevel]):
+    def __init__(
+        self, domain: AABB, depth: int, levels: list[OctreeLevel], *, linked: bool = False
+    ):
         size = domain.size
         if not np.allclose(size, size[0]):
             raise ValueError("octree domain must be cubic")
@@ -77,7 +79,11 @@ class LinearOctree:
         self.domain = domain
         self.depth = int(depth)
         self.levels = levels
-        self._link_children()
+        # ``linked=True`` promises child_start/child_count are already
+        # correct (e.g. views attached to another process's shared
+        # memory, which may be read-only) and skips recomputing them.
+        if not linked:
+            self._link_children()
 
     # -- construction helpers -------------------------------------------
 

@@ -22,7 +22,8 @@ class TestIcaTable:
         )
 
     def test_covers_requested_levels(self, table, head_tree_64_expanded):
-        assert table.levels == min(8, head_tree_64_expanded.depth) + 1
+        # Default is the paper's S = 8, capped at the level count (depth+1).
+        assert table.levels == min(8, head_tree_64_expanded.depth + 1)
         for l in range(table.levels):
             assert len(table.cos1[l]) == head_tree_64_expanded.levels[l].n
 
@@ -64,6 +65,61 @@ class TestIcaTable:
         assert t.levels == 3
         assert not t.has_level(3)
         assert t.has_level(2)
+
+
+class TestDefaultMemoLevels:
+    """The default S must be the paper's 8, matching TraversalConfig.
+
+    Regression: the default used to evaluate to ``min(8, depth) + 1`` —
+    nine memoized levels on deep trees, one more than the documented
+    ``S = 8`` and than ``TraversalConfig.memo_levels`` requests.
+    """
+
+    @pytest.fixture(scope="class")
+    def chain_tree(self):
+        """Depth-9 single-branch tree: one MIXED node per level, FULL leaf."""
+        from repro.geometry.aabb import AABB
+        from repro.octree.linear import (
+            STATUS_FULL,
+            STATUS_MIXED,
+            LinearOctree,
+            OctreeLevel,
+        )
+
+        depth = 9
+        levels = [
+            OctreeLevel(
+                codes=np.zeros(1, dtype=np.uint64),
+                status=np.full(1, STATUS_MIXED if l < depth else STATUS_FULL),
+                child_start=np.full(1, -1, dtype=np.intp),
+                child_count=np.zeros(1, dtype=np.int8),
+            )
+            for l in range(depth + 1)
+        ]
+        return LinearOctree(AABB((0, 0, 0), (64, 64, 64)), depth, levels)
+
+    def test_default_is_paper_s8(self, chain_tree):
+        table = build_ica_table(chain_tree, paper_tool(), np.zeros(3))
+        assert table.levels == 8
+        assert table.n_entries == 8  # one node per memoized level 0..7
+
+    def test_default_matches_traversal_config(self, chain_tree):
+        from repro.cd.traversal import TraversalConfig
+
+        explicit = build_ica_table(
+            chain_tree, paper_tool(), np.zeros(3),
+            levels=TraversalConfig().memo_levels,
+        )
+        default = build_ica_table(chain_tree, paper_tool(), np.zeros(3))
+        assert default.levels == explicit.levels == TraversalConfig().memo_levels
+        assert default.n_entries == explicit.n_entries == 8
+
+    def test_shallow_tree_still_capped_at_level_count(self, head_tree_64_expanded):
+        table = build_ica_table(
+            head_tree_64_expanded, paper_tool(), np.zeros(3)
+        )
+        assert table.levels == head_tree_64_expanded.depth + 1  # depth 6 < S
+        assert table.n_entries == head_tree_64_expanded.total_nodes
 
 
 class TestEfficiencyModel:

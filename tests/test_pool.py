@@ -1,0 +1,282 @@
+"""The multi-process execution engine (`repro.engine.pool`).
+
+The contract under test is determinism: any worker count must produce
+byte-identical accessibility maps and identical merged counters for
+every method, with metrics and trace reports that a serial run's
+consumers can read unchanged.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cd.methods import METHODS, AICA, MICA
+from repro.cd.pathrun import run_along_path
+from repro.cd.traversal import TraversalConfig, run_cd
+from repro.engine.counters import ThreadCounters
+from repro.engine.pool import SharedScene, WorkerPool, resolve_workers
+from repro.geometry.orientation import OrientationGrid
+from repro.ica.table import build_ica_table
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.trace import Tracer, use_tracer
+from repro.tool.tool import paper_tool
+
+
+GRID = OrientationGrid.square(6)
+
+
+def _same_counters(a: ThreadCounters, b: ThreadCounters) -> None:
+    assert a.n_threads == b.n_threads and a.n_cyl == b.n_cyl
+    for name in ThreadCounters.COUNTER_FIELDS:
+        np.testing.assert_array_equal(
+            getattr(a, name), getattr(b, name), err_msg=name
+        )
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers() == 4
+        assert resolve_workers(None) == 4
+
+    def test_auto_is_cpu_count(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers() == (os.cpu_count() or 1)
+        assert resolve_workers("auto") == (os.cpu_count() or 1)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestSharedScene:
+    def test_tree_roundtrip(self, sphere_scene):
+        tree = sphere_scene.tree
+        shared = SharedScene.create(tree)
+        try:
+            attached, table = SharedScene.attach(shared.manifest)
+            assert table is None
+            assert attached.depth == tree.depth
+            np.testing.assert_array_equal(attached.domain.lo, tree.domain.lo)
+            for l in range(tree.depth + 1):
+                np.testing.assert_array_equal(
+                    attached.levels[l].codes, tree.levels[l].codes
+                )
+                np.testing.assert_array_equal(
+                    attached.levels[l].status, tree.levels[l].status
+                )
+                np.testing.assert_array_equal(
+                    attached.levels[l].child_start, tree.levels[l].child_start
+                )
+                np.testing.assert_array_equal(
+                    attached.levels[l].child_count, tree.levels[l].child_count
+                )
+        finally:
+            shared.destroy()
+
+    def test_table_roundtrip(self, sphere_scene):
+        tree = sphere_scene.tree
+        table = build_ica_table(tree, sphere_scene.tool, sphere_scene.pivot)
+        shared = SharedScene.create(tree, table)
+        try:
+            _, attached = SharedScene.attach(shared.manifest)
+            assert attached.levels == table.levels
+            assert attached.n_entries == table.n_entries
+            for l in range(len(table.cos1)):
+                np.testing.assert_array_equal(attached.cos1[l], table.cos1[l])
+                np.testing.assert_array_equal(attached.cos2[l], table.cos2[l])
+        finally:
+            shared.destroy()
+
+    def test_attached_views_are_readonly(self, sphere_scene):
+        shared = SharedScene.create(sphere_scene.tree)
+        try:
+            attached, _ = SharedScene.attach(shared.manifest)
+            with pytest.raises(ValueError):
+                attached.levels[0].codes[...] = 0
+        finally:
+            shared.destroy()
+
+    def test_destroy_idempotent(self, sphere_scene):
+        shared = SharedScene.create(sphere_scene.tree)
+        shared.destroy()
+        shared.destroy()
+
+
+class TestRunCdEquivalence:
+    """Serial vs workers=2 vs workers=4, all five methods (fixed scene)."""
+
+    @pytest.fixture(scope="class")
+    def serial(self, sphere_scene):
+        return {
+            cls.name: run_cd(sphere_scene, GRID, cls(), workers=1) for cls in METHODS
+        }
+
+    @pytest.mark.parametrize("n_workers", [2, 4])
+    @pytest.mark.parametrize("method_cls", METHODS, ids=[c.name for c in METHODS])
+    def test_byte_identical(self, sphere_scene, serial, method_cls, n_workers):
+        ref = serial[method_cls.name]
+        par = run_cd(sphere_scene, GRID, method_cls(), workers=n_workers)
+        np.testing.assert_array_equal(par.collides, ref.collides)
+        _same_counters(par.counters, ref.counters)
+        assert par.table_entries == ref.table_entries
+        assert par.timing.cd_tests_s == ref.timing.cd_tests_s
+        assert par.timing.ica_precompute_s == ref.timing.ica_precompute_s
+
+    def test_config_workers_field_is_honored(self, sphere_scene, serial):
+        cfg = TraversalConfig(workers=2)
+        par = run_cd(sphere_scene, GRID, AICA(), config=cfg)
+        np.testing.assert_array_equal(par.collides, serial["AICA"].collides)
+
+    def test_env_workers_is_honored(self, sphere_scene, serial, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        par = run_cd(sphere_scene, GRID, MICA())
+        np.testing.assert_array_equal(par.collides, serial["MICA"].collides)
+        _same_counters(par.counters, serial["MICA"].counters)
+
+    def test_more_workers_than_orientations(self, sphere_scene):
+        g = OrientationGrid(2, 2)
+        ref = run_cd(sphere_scene, g, AICA(), workers=1)
+        par = run_cd(sphere_scene, g, AICA(), workers=16)
+        np.testing.assert_array_equal(par.collides, ref.collides)
+        _same_counters(par.counters, ref.counters)
+
+    def test_metrics_counts_match_serial(self, sphere_scene):
+        with use_metrics(MetricsRegistry()) as serial_reg:
+            run_cd(sphere_scene, GRID, AICA(), workers=1)
+        with use_metrics(MetricsRegistry()) as par_reg:
+            run_cd(sphere_scene, GRID, AICA(), workers=2)
+        a, b = serial_reg.as_dict(), par_reg.as_dict()
+        assert set(a) == set(b)
+        for name in a:
+            if a[name]["type"] == "counter" and not name.endswith(("_s", "_ms")):
+                assert a[name]["value"] == b[name]["value"], name
+
+    def test_trace_is_folded_and_schema_compatible(self, sphere_scene):
+        with use_tracer(Tracer()) as tr:
+            run_cd(sphere_scene, GRID, MICA(), workers=2)
+        records = tr.to_dicts()
+        names = {r["name"] for r in records}
+        assert {"cd.run", "ica.table.build", "pool.share", "cd.traversal", "cd.level"} <= names
+        for i, rec in enumerate(records):
+            assert rec["parent"] == -1 or 0 <= rec["parent"] < len(records)
+            if rec["parent"] >= 0:
+                assert records[rec["parent"]]["depth"] == rec["depth"] - 1
+        workers_seen = {
+            r["attrs"]["pool_worker"] for r in records if "pool_worker" in r["attrs"]
+        }
+        assert len(workers_seen) == 2
+
+
+class TestPathRunEquivalence:
+    @pytest.fixture(scope="class")
+    def pivots(self):
+        rng = np.random.default_rng(42)
+        base = np.array([0.0, 0.0, 21.0])
+        return base + rng.uniform(-1.5, 1.5, size=(3, 3)) * np.array([1, 1, 0.3])
+
+    @pytest.fixture(scope="class")
+    def serial(self, sphere_scene, pivots):
+        return run_along_path(
+            sphere_scene.tree, paper_tool(), pivots, GRID, AICA(), workers=1
+        )
+
+    def test_pivot_sharded_identical(self, sphere_scene, pivots, serial):
+        par = run_along_path(
+            sphere_scene.tree, paper_tool(), pivots, GRID, AICA(), workers=2
+        )
+        assert len(par.results) == len(serial.results)
+        for a, b in zip(serial.results, par.results):
+            np.testing.assert_array_equal(b.collides, a.collides)
+            _same_counters(b.counters, a.counters)
+            assert b.table_entries == a.table_entries
+        np.testing.assert_array_equal(par.overlaps, serial.overlaps)
+
+    def test_metrics_counts_match_serial(self, sphere_scene, pivots):
+        with use_metrics(MetricsRegistry()) as serial_reg:
+            run_along_path(
+                sphere_scene.tree, paper_tool(), pivots, GRID, MICA(), workers=1
+            )
+        with use_metrics(MetricsRegistry()) as par_reg:
+            run_along_path(
+                sphere_scene.tree, paper_tool(), pivots, GRID, MICA(), workers=2
+            )
+        a, b = serial_reg.as_dict(), par_reg.as_dict()
+        assert set(a) == set(b)
+        for name in a:
+            if a[name]["type"] == "counter" and not name.endswith(("_s", "_ms")):
+                assert a[name]["value"] == b[name]["value"], name
+
+    def test_trace_has_per_pivot_spans(self, sphere_scene, pivots):
+        with use_tracer(Tracer()) as tr:
+            run_along_path(
+                sphere_scene.tree, paper_tool(), pivots, GRID, AICA(), workers=2
+            )
+        names = {r["name"] for r in tr.to_dicts()}
+        assert {"cd.path.pool", "cd.pivot", "cd.run", "cd.traversal"} <= names
+        pivot_spans = [r for r in tr.to_dicts() if r["name"] == "cd.pivot"]
+        assert len(pivot_spans) == 3
+        assert all(r["wall_s"] > 0 for r in pivot_spans), "re-timed from workers"
+
+    def test_reported_config_is_callers(self, sphere_scene, pivots):
+        cfg = TraversalConfig(workers=2)
+        par = run_along_path(
+            sphere_scene.tree, paper_tool(), pivots, GRID, AICA(), config=cfg
+        )
+        assert all(r.config == cfg for r in par.results)
+
+
+class TestMergedWith:
+    def _random_counters(self, rng, n=16, n_cyl=4):
+        c = ThreadCounters(n_threads=n, n_cyl=n_cyl)
+        for name in ThreadCounters.COUNTER_FIELDS:
+            setattr(c, name, rng.integers(0, 1000, size=n).astype(np.int64))
+        return c
+
+    def test_commutative(self, rng):
+        a, b = self._random_counters(rng), self._random_counters(rng)
+        _same_counters(a.merged_with(b), b.merged_with(a))
+
+    def test_associative(self, rng):
+        a, b, c = (self._random_counters(rng) for _ in range(3))
+        _same_counters(
+            a.merged_with(b).merged_with(c), a.merged_with(b.merged_with(c))
+        )
+
+    def test_identity(self, rng):
+        a = self._random_counters(rng)
+        zero = ThreadCounters(n_threads=a.n_threads, n_cyl=a.n_cyl)
+        _same_counters(a.merged_with(zero), a)
+
+    def test_shape_mismatch_raises(self, rng):
+        a = self._random_counters(rng, n=8)
+        b = self._random_counters(rng, n=9)
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+        c = ThreadCounters(n_threads=8, n_cyl=5)
+        with pytest.raises(ValueError):
+            a.merged_with(c)
+
+
+class TestWorkerPool:
+    def test_map_preserves_order(self):
+        with WorkerPool(2) as pool:
+            out = pool.map(_square, list(range(8)))
+        assert out == [i * i for i in range(8)]
+
+
+def _square(x):
+    return x * x
