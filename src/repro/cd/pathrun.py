@@ -26,6 +26,7 @@ from repro.cd.traversal import TraversalConfig, run_cd
 from repro.engine.costs import CostModel, DEFAULT_COSTS
 from repro.engine.device import DeviceSpec, GTX_1080_TI
 from repro.geometry.orientation import OrientationGrid
+from repro.obs.profile import Heartbeat, progress_enabled
 from repro.obs.trace import get_tracer
 
 __all__ = ["PathRunResult", "run_along_path", "map_overlap"]
@@ -102,6 +103,7 @@ def run_along_path(
             device=device, costs=costs, config=config, workers=n_workers,
         )
     tracer = get_tracer()
+    heartbeat = Heartbeat(len(pivots), "pivot") if progress_enabled() else None
     results = []
     for i, p in enumerate(pivots):
         with tracer.span("cd.pivot", index=i) as sp:
@@ -111,6 +113,8 @@ def run_along_path(
             )
             sp.set(colliding=r.n_colliding)
         results.append(r)
+        if heartbeat is not None:
+            heartbeat.tick(pivot=i, colliding=r.n_colliding)
     overlaps = np.array(
         [
             map_overlap(a.collides, b.collides)

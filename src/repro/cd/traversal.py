@@ -42,6 +42,7 @@ from repro.engine.simt import simulate_kernel, simulate_stage
 from repro.geometry.orientation import OrientationGrid
 from repro.ica.table import IcaTable, build_ica_table
 from repro.obs.metrics import get_metrics
+from repro.obs.profile import Heartbeat, progress_enabled
 from repro.obs.trace import get_tracer
 from repro.octree.linear import STATUS_FULL, STATUS_MIXED
 
@@ -258,6 +259,7 @@ def _traverse_range(
     collides: np.ndarray,
     t_start: int,
     t_end: int,
+    progress=None,
 ) -> None:
     """Run the frontier traversal for threads ``[t_start, t_end)``.
 
@@ -265,6 +267,9 @@ def _traverse_range(
     threads are independent (a thread's pairs never read another
     thread's state), so any partition of ``[0, M)`` into ranges produces
     the same totals — the property the worker pool relies on.
+
+    ``progress`` — when given — is called with ``(t0=..., t1=...)``
+    after each completed thread-block (the serial path's heartbeat).
     """
     tracer = get_tracer()
     tree = rt.scene.tree
@@ -298,6 +303,8 @@ def _traverse_range(
             level += 1
             if level > tree.depth:
                 break
+        if progress is not None:
+            progress(t0=t0, t1=t1)
 
 
 def _export_run_metrics(
@@ -416,9 +423,16 @@ def run_cd(
         L0, base_codes, base_idx, base_status = initial_frontier(scene, config.start_level)
         collides = np.zeros(M, dtype=bool)
 
+        if progress_enabled():
+            n_blocks = -(-M // config.thread_block)
+            heartbeat = Heartbeat(n_blocks, "block")
+            progress = heartbeat.tick
+        else:
+            progress = None
         with tracer.span("cd.traversal", start_level=L0):
             _traverse_range(
-                rt, method, L0, base_codes, base_idx, base_status, collides, 0, M
+                rt, method, L0, base_codes, base_idx, base_status, collides, 0, M,
+                progress=progress,
             )
 
         return _finalize_run(

@@ -8,8 +8,13 @@ Usage::
     repro-bench all                   # run everything (respects scale)
     repro-bench fig16 --workers 4     # shard CD runs over 4 processes
     repro-bench compare a.json b.json # regression gate between two reports
+    repro-bench fig16 --progress      # heartbeat per thread-block/pivot
     REPRO_BENCH_SCALE=medium repro-bench fig05
     REPRO_WORKERS=4 repro-bench fig16 # env equivalent of --workers
+
+Saved ``--json`` reports are analyzed offline with ``repro-obs``
+(:mod:`repro.obs.cli`): span trees, hotspots, Perfetto/flamegraph
+exports, and full report diffs.
 
 Exit codes: ``0`` success, ``1`` an experiment crashed (``all`` keeps
 going and aggregates) or ``compare`` flagged a regression, ``2`` usage
@@ -34,6 +39,7 @@ from repro.bench.config import SCALES, current_scale
 from repro.bench.experiments import ALL_EXPERIMENTS
 from repro.engine.pool import resolve_workers
 from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.profile import record_memory_metrics
 from repro.obs.report import build_report, compare, load_report
 from repro.obs.trace import Tracer, get_tracer, use_tracer
 
@@ -87,7 +93,15 @@ def _main_run(argv: list[str]) -> int:
         help="worker processes for CD runs (int or 'auto'; overrides "
         "REPRO_WORKERS; default 1 = serial)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a heartbeat line per completed thread-block/pivot "
+        "with ETA (same as REPRO_PROGRESS=1)",
+    )
     args = parser.parse_args(argv)
+    if args.progress:
+        os.environ["REPRO_PROGRESS"] = "1"
 
     try:
         workers = resolve_workers(args.workers)
@@ -141,6 +155,7 @@ def _main_run(argv: list[str]) -> int:
         print(_span_summary(tracer), file=sys.stderr)
 
     if args.json is not None:
+        record_memory_metrics(metrics)  # parent peak RSS into every report
         report = build_report(
             args.experiment,
             tracer=tracer,

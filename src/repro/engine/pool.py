@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import replace
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 
@@ -42,6 +42,8 @@ import numpy as np
 
 from repro.geometry.aabb import AABB
 from repro.ica.table import IcaTable
+from repro.obs.metrics import get_metrics
+from repro.obs.profile import Heartbeat, PoolStats, peak_rss_bytes, progress_enabled
 from repro.obs.trace import Tracer, get_tracer, use_tracer
 from repro.octree.linear import LinearOctree, OctreeLevel
 
@@ -260,9 +262,18 @@ class WorkerPool:
         ctx = get_context(start_method or _start_method())
         self._executor = ProcessPoolExecutor(max_workers=self.workers, mp_context=ctx)
 
-    def map(self, fn, jobs: list) -> list:
-        """Submit all jobs, return results in submission order."""
+    def map(self, fn, jobs: list, *, on_done=None) -> list:
+        """Submit all jobs, return results in submission order.
+
+        ``on_done(index)`` — when given — is called once per task as it
+        completes, in completion order (the progress heartbeat's hook);
+        results still come back in submission order.
+        """
         futures = [self._executor.submit(fn, job) for job in jobs]
+        if on_done is not None:
+            index = {f: i for i, f in enumerate(futures)}
+            for f in as_completed(futures):
+                on_done(index[f])
         return [f.result() for f in futures]
 
     def shutdown(self) -> None:
@@ -281,18 +292,33 @@ class WorkerPool:
 # ---------------------------------------------------------------------------
 
 
+def _worker_prologue() -> tuple[int, float]:
+    """Per-task worker bookkeeping: progress suppression + start stamps.
+
+    Heartbeat lines belong to the parent (which sees task completions);
+    a worker re-entering the serial paths must not also print them, so
+    the first task a worker runs turns ``REPRO_PROGRESS`` off for the
+    worker's lifetime.  Returns ``(start_ns, perf_t0)``.
+    """
+    os.environ["REPRO_PROGRESS"] = "0"
+    return time.time_ns(), time.perf_counter()
+
+
 def _cd_block_task(job: dict) -> dict:
     """Traverse orientation range ``[t0, t1)`` of one CD run.
 
     Returns the range's ``collides`` slice, the per-thread counter
     slices (only this range's entries are nonzero, so slices lose
-    nothing), and the worker's trace spans when tracing was requested.
+    nothing), the worker's trace spans when tracing was requested, and
+    the telemetry the parent's utilization accounting consumes (pid,
+    start stamp, busy seconds, peak RSS, trace epoch).
     """
     from repro.cd.methods import method_by_name
     from repro.cd.scene import Scene
     from repro.cd.traversal import Runtime, _traverse_range, initial_frontier
     from repro.engine.counters import ThreadCounters
 
+    start_ns, busy_t0 = _worker_prologue()
     tree, table = SharedScene.attach(job["manifest"])
     scene = Scene(tree, job["tool"], job["pivot"])
     method = method_by_name(job["method"])
@@ -329,6 +355,11 @@ def _cd_block_task(job: dict) -> dict:
             for name in ThreadCounters.COUNTER_FIELDS
         },
         "spans": tracer.to_dicts() if tracer is not None else [],
+        "epoch_ns": tracer.epoch_ns if tracer is not None else None,
+        "pid": os.getpid(),
+        "start_ns": start_ns,
+        "busy_s": time.perf_counter() - busy_t0,
+        "max_rss_bytes": peak_rss_bytes(),
     }
 
 
@@ -344,6 +375,7 @@ def _pivot_task(job: dict) -> dict:
     from repro.cd.traversal import run_cd
     from repro.obs.metrics import MetricsRegistry, use_metrics
 
+    start_ns, busy_t0 = _worker_prologue()
     tree, _ = SharedScene.attach(job["manifest"])
     scene = Scene(tree, job["tool"], job["pivot"])
     from repro.cd.methods import method_by_name
@@ -360,6 +392,11 @@ def _pivot_task(job: dict) -> dict:
         "index": job["index"],
         "result": result,
         "spans": tracer.to_dicts() if tracer is not None else [],
+        "epoch_ns": tracer.epoch_ns if tracer is not None else None,
+        "pid": os.getpid(),
+        "start_ns": start_ns,
+        "busy_s": time.perf_counter() - busy_t0,
+        "max_rss_bytes": peak_rss_bytes(),
     }
 
 
@@ -429,10 +466,20 @@ def run_cd_parallel(scene, grid, method, *, device, costs, config, workers: int)
         collides = np.zeros(M, dtype=bool)
         counters = ThreadCounters(n_threads=M, n_cyl=scene.n_cylinders)
         L0 = min(config.start_level, scene.tree.depth)
+        heartbeat = Heartbeat(len(jobs), "block") if progress_enabled() else None
         try:
             with tracer.span("cd.traversal", start_level=L0, workers=n_workers) as tsp:
+                pool_w0 = time.perf_counter()
+                stats = PoolStats(n_workers, arena_bytes=shared.nbytes)
                 with WorkerPool(n_workers) as pool:
-                    payloads = pool.map(_cd_block_task, jobs)
+                    payloads = pool.map(
+                        _cd_block_task,
+                        jobs,
+                        on_done=(
+                            (lambda i: heartbeat.tick(block=i)) if heartbeat else None
+                        ),
+                    )
+                pool_wall = time.perf_counter() - pool_w0
                 for k, payload in enumerate(payloads):
                     a, b = payload["t0"], payload["t1"]
                     collides[a:b] = payload["collides"]
@@ -440,10 +487,17 @@ def run_cd_parallel(scene, grid, method, *, device, costs, config, workers: int)
                     for name, values in payload["counters"].items():
                         getattr(part, name)[a:b] = values
                     counters = counters.merged_with(part)
+                    stats.add_sample(k, payload)
                     if tracer.enabled:
                         tracer.absorb(
-                            payload["spans"], parent=tsp.index, attrs={"pool_worker": k}
+                            payload["spans"],
+                            parent=tsp.index,
+                            attrs={"pool_worker": k, "pool_pid": payload["pid"]},
+                            epoch_ns=payload["epoch_ns"],
                         )
+                if tracer.enabled:
+                    stats.emit_wait_spans(tracer, parent=tsp.index)
+                stats.export(get_metrics(), wall_s=pool_wall)
         finally:
             shared.destroy()
 
@@ -471,6 +525,7 @@ def run_along_path_parallel(
     tracer = get_tracer()
     n_workers = min(workers, len(pivots))
     shared = SharedScene.create(tree)
+    heartbeat = Heartbeat(len(pivots), "pivot") if progress_enabled() else None
     try:
         with tracer.span(
             "cd.path.pool", pivots=len(pivots), workers=n_workers
@@ -491,8 +546,22 @@ def run_along_path_parallel(
                 }
                 for i, p in enumerate(pivots)
             ]
+            pool_w0 = time.perf_counter()
+            stats = PoolStats(n_workers, arena_bytes=shared.nbytes)
             with WorkerPool(n_workers) as pool:
-                payloads = pool.map(_pivot_task, jobs)
+                payloads = pool.map(
+                    _pivot_task,
+                    jobs,
+                    on_done=(
+                        (lambda i: heartbeat.tick(pivot=i)) if heartbeat else None
+                    ),
+                )
+            pool_wall = time.perf_counter() - pool_w0
+            for k, payload in enumerate(payloads):
+                stats.add_sample(k, payload)
+            if tracer.enabled:
+                stats.emit_wait_spans(tracer, parent=pool_sp.index)
+            stats.export(get_metrics(), wall_s=pool_wall)
     finally:
         shared.destroy()
 
@@ -505,13 +574,23 @@ def run_along_path_parallel(
         with tracer.span("cd.pivot", index=i) as sp:
             sp.set(colliding=result.n_colliding)
         if tracer.enabled and payload["spans"]:
-            tracer.absorb(payload["spans"], parent=sp.index)
-            # Re-time the pivot span from the worker's root spans so
-            # span totals reflect where the time actually went.
+            tracer.absorb(
+                payload["spans"],
+                parent=sp.index,
+                attrs={"pool_worker": i, "pool_pid": payload["pid"]},
+                epoch_ns=payload["epoch_ns"],
+            )
+            # Re-time the pivot span from the worker's root spans so span
+            # totals reflect where the time actually went, and re-base its
+            # start to the worker's (epoch-aligned) first root so the
+            # timeline shows the pivot where it really ran.
             rec = tracer.records[sp.index]
             roots = [d for d in payload["spans"] if d["parent"] < 0]
             rec.wall_s = sum(d["wall_s"] for d in roots)
             rec.cpu_s = sum(d["cpu_s"] for d in roots)
+            if payload["epoch_ns"] is not None:
+                shift = (payload["epoch_ns"] - tracer.epoch_ns) / 1e9
+                rec.t0 = min(d["t0"] for d in roots) + shift
         _export_run_metrics(
             result.counters,
             result.table_entries,

@@ -9,7 +9,14 @@ without cycles):
 * :mod:`repro.obs.metrics` — counters / gauges / histograms the CD runs
   accumulate into (check counts, table sizes, per-thread distributions);
 * :mod:`repro.obs.report` — serializes one run to JSON and diffs two
-  runs for regressions (``repro-bench compare``).
+  runs for regressions (``repro-bench compare``);
+* :mod:`repro.obs.timeline` — exports a finished trace as
+  Chrome/Perfetto trace-event JSON or collapsed flamegraph stacks;
+* :mod:`repro.obs.profile` — pool utilization/imbalance accounting,
+  peak-RSS memory telemetry, and the opt-in progress heartbeat.
+
+The ``repro-obs`` console script (:mod:`repro.obs.cli`) drives the
+timeline exports and report diffs from the command line.
 """
 
 from repro.obs.metrics import (
@@ -29,6 +36,19 @@ from repro.obs.report import (
     compare,
     load_report,
 )
+from repro.obs.profile import (
+    Heartbeat,
+    PoolStats,
+    peak_rss_bytes,
+    progress_enabled,
+    record_memory_metrics,
+)
+from repro.obs.timeline import (
+    perfetto_json,
+    span_tracks,
+    to_collapsed,
+    to_perfetto,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     NullTracer,
@@ -41,6 +61,15 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Heartbeat",
+    "PoolStats",
+    "peak_rss_bytes",
+    "progress_enabled",
+    "record_memory_metrics",
+    "perfetto_json",
+    "span_tracks",
+    "to_collapsed",
+    "to_perfetto",
     "Counter",
     "Gauge",
     "Histogram",

@@ -1,0 +1,258 @@
+"""``repro-obs`` — offline analysis of saved run reports.
+
+Usage::
+
+    repro-obs tree r.json                      # span tree with totals
+    repro-obs tree r.json --depth 3 --min-wall 0.01
+    repro-obs top r.json --by cpu -n 10        # hotspots by wall/cpu
+    repro-obs export r.json --format perfetto -o trace.json
+    repro-obs export r.json --format collapsed -o stacks.txt
+    repro-obs diff baseline.json current.json  # per-span + per-metric deltas
+
+``tree`` and ``top`` read the trace out of a ``repro-bench ... --json``
+report; ``export`` converts it to a Perfetto timeline (open at
+https://ui.perfetto.dev) or collapsed stacks (``flamegraph.pl`` /
+https://speedscope.app); ``diff`` prints every tracked metric's movement
+between two reports and exits nonzero on regression (same engine as
+``repro-bench compare``, plus the full delta table).
+
+Exit codes: ``0`` success, ``1`` ``diff`` flagged a regression, ``2``
+usage errors (unreadable report, bad format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.report import RunReport, compare, load_report
+from repro.obs.timeline import perfetto_json, to_collapsed
+
+__all__ = ["main"]
+
+
+class UsageError(Exception):
+    """Usage error carrying its message; `main` maps it to exit code 2."""
+
+
+def _load(path: str) -> RunReport:
+    try:
+        return load_report(path)
+    except (OSError, ValueError) as exc:
+        raise UsageError(f"cannot load report {path!r}: {exc}") from None
+
+
+# ---------------------------------------------------------------------------
+# tree — render the span tree with aggregated totals
+# ---------------------------------------------------------------------------
+
+
+def _aggregate_tree(spans: list[dict]) -> dict:
+    """Nest spans by name-path, summing repeats.
+
+    Two ``cd.level`` spans under the same ``cd.traversal`` fold into one
+    node with ``count=2`` — the totals view, not the timeline view (that
+    is what ``export --format perfetto`` is for).
+    """
+    root: dict = {"children": {}}
+    paths: list[dict] = []
+    for s in spans:
+        parent = s.get("parent", -1)
+        bucket = paths[parent] if parent >= 0 else root
+        node = bucket["children"].setdefault(
+            s["name"], {"count": 0, "wall_s": 0.0, "cpu_s": 0.0, "children": {}}
+        )
+        node["count"] += 1
+        node["wall_s"] += s["wall_s"]
+        node["cpu_s"] += s["cpu_s"]
+        paths.append(node)
+    return root
+
+
+def _render_tree(node: dict, *, depth: int, max_depth: int, min_wall: float, out: list):
+    children = sorted(
+        node["children"].items(), key=lambda kv: kv[1]["wall_s"], reverse=True
+    )
+    for name, child in children:
+        if child["wall_s"] < min_wall:
+            continue
+        count = f" x{child['count']}" if child["count"] > 1 else ""
+        out.append(
+            f"{'  ' * depth}{name}{count}  "
+            f"wall {child['wall_s']:.3f}s  cpu {child['cpu_s']:.3f}s"
+        )
+        if depth + 1 < max_depth:
+            _render_tree(
+                child, depth=depth + 1, max_depth=max_depth, min_wall=min_wall, out=out
+            )
+
+
+def _cmd_tree(args) -> int:
+    report = _load(args.report)
+    if not report.spans:
+        print("(report has no spans — was it written with --json/--trace?)")
+        return 0
+    lines: list[str] = []
+    _render_tree(
+        _aggregate_tree(report.spans),
+        depth=0,
+        max_depth=args.depth,
+        min_wall=args.min_wall,
+        out=lines,
+    )
+    print(f"{report.label}: {len(report.spans)} spans")
+    print("\n".join(lines))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# top — hotspots by aggregated wall/cpu time
+# ---------------------------------------------------------------------------
+
+
+def _cmd_top(args) -> int:
+    report = _load(args.report)
+    totals = report.span_totals
+    if not totals:
+        print("(report has no span totals)")
+        return 0
+    key = "wall_s" if args.by == "wall" else "cpu_s"
+    order = sorted(totals, key=lambda n: totals[n][key], reverse=True)[: args.limit]
+    denom = max((totals[n][key] for n in totals), default=0.0)
+    width = max((len(n) for n in order), default=4)
+    print(f"{report.label}: top {len(order)} spans by {args.by} time")
+    for name in order:
+        agg = totals[name]
+        share = agg[key] / denom if denom else 0.0
+        print(
+            f"{name:{width}s}  x{agg['count']:<6d} wall {agg['wall_s']:9.3f}s  "
+            f"cpu {agg['cpu_s']:9.3f}s  {share:6.1%}"
+        )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# export — Perfetto trace-event JSON / collapsed stacks
+# ---------------------------------------------------------------------------
+
+
+def _cmd_export(args) -> int:
+    report = _load(args.report)
+    if args.format == "perfetto":
+        payload = perfetto_json(report, label=report.label or "repro", indent=None)
+    else:
+        payload = to_collapsed(report)
+    if args.output in (None, "-"):
+        print(payload)
+    else:
+        try:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+                fh.write("\n")
+        except OSError as exc:
+            raise UsageError(f"cannot write {args.output!r}: {exc}") from None
+        print(f"[{args.format} export written to {args.output}]", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# diff — full per-span/per-metric delta table + regression gate
+# ---------------------------------------------------------------------------
+
+
+def _cmd_diff(args) -> int:
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    result = compare(
+        baseline,
+        current,
+        time_threshold=args.time_threshold,
+        count_threshold=args.count_threshold,
+        min_time_delta_s=args.min_time_delta,
+    )
+    print(f"baseline: {args.baseline} ({baseline.label})")
+    print(f"current:  {args.current} ({current.label})")
+    flagged = {id(d) for d in result.regressions}
+    better = {id(d) for d in result.improvements}
+    shown = [
+        d
+        for d in result.deltas
+        if args.all or d.baseline != d.current or id(d) in flagged
+    ]
+    for d in sorted(shown, key=lambda d: d.metric):
+        mark = (
+            "REGRESSION " if id(d) in flagged else "improvement" if id(d) in better
+            else "           "
+        )
+        print(f"  {mark} {d.describe()}")
+    if not shown:
+        print("  (no metric moved)")
+    print(result.render())
+    return 0 if result.ok else 1
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Analyze repro-bench --json run reports: span trees, "
+        "hotspots, Perfetto/flamegraph export, report diffs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_tree = sub.add_parser("tree", help="render the span tree with totals")
+    p_tree.add_argument("report")
+    p_tree.add_argument("--depth", type=int, default=6, help="max tree depth shown")
+    p_tree.add_argument(
+        "--min-wall", type=float, default=0.0, metavar="SECONDS",
+        help="hide aggregated nodes below this wall time",
+    )
+    p_tree.set_defaults(fn=_cmd_tree)
+
+    p_top = sub.add_parser("top", help="hotspots by aggregated span time")
+    p_top.add_argument("report")
+    p_top.add_argument("--by", choices=("wall", "cpu"), default="wall")
+    p_top.add_argument("-n", "--limit", type=int, default=15)
+    p_top.set_defaults(fn=_cmd_top)
+
+    p_exp = sub.add_parser("export", help="export the trace for external viewers")
+    p_exp.add_argument("report")
+    p_exp.add_argument(
+        "--format", choices=("perfetto", "collapsed"), default="perfetto",
+        help="perfetto: Chrome trace-event JSON; collapsed: flamegraph stacks",
+    )
+    p_exp.add_argument(
+        "-o", "--output", default=None, help="output path (default stdout)"
+    )
+    p_exp.set_defaults(fn=_cmd_export)
+
+    p_diff = sub.add_parser("diff", help="per-span and per-metric report deltas")
+    p_diff.add_argument("baseline")
+    p_diff.add_argument("current")
+    p_diff.add_argument("--time-threshold", type=float, default=0.25)
+    p_diff.add_argument("--count-threshold", type=float, default=0.01)
+    p_diff.add_argument(
+        "--min-time-delta", type=float, default=0.01, metavar="SECONDS"
+    )
+    p_diff.add_argument(
+        "--all", action="store_true", help="also show metrics that did not move"
+    )
+    p_diff.set_defaults(fn=_cmd_diff)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except UsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,234 @@
+"""Run profiling: pool utilization, memory telemetry, progress heartbeat.
+
+The paper's performance argument rests on *where* the work goes — Fig. 14
+is a load-imbalance histogram, and the speedup story is per-thread. This
+module gives the multi-process engine the same lens:
+
+* :class:`PoolStats` — per-worker busy/idle accounting over one pool
+  dispatch.  The engine feeds it one sample per task (worker pid, busy
+  seconds, start stamp, peak RSS) and it exports the
+  ``engine.pool.utilization`` and ``engine.pool.imbalance_ratio``
+  gauges (max/mean busy time — the paper's Fig. 14 metric, at worker
+  granularity), arena/RSS memory gauges, and per-task ``pool.task.wait``
+  spans (submit-to-start queue latency) into the parent trace.
+* :func:`peak_rss_bytes` / :func:`record_memory_metrics` — peak resident
+  set size via ``resource.getrusage``, normalized to bytes.
+* :class:`Heartbeat` — opt-in (``REPRO_PROGRESS=1`` or ``repro-bench
+  --progress``) structured progress lines with ETA, one per completed
+  thread-block or pivot.  Off by default: the disabled cost is one
+  attribute check per tick.
+
+Like the rest of ``repro.obs`` this module never imports the engine —
+the engine imports *it*.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    resource = None
+
+__all__ = [
+    "peak_rss_bytes",
+    "record_memory_metrics",
+    "PoolStats",
+    "Heartbeat",
+    "progress_enabled",
+]
+
+
+# ---------------------------------------------------------------------------
+# Memory telemetry
+# ---------------------------------------------------------------------------
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (0 if unavailable).
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalize to
+    bytes so gauges compare across platforms.
+    """
+    if resource is None:
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(rss if sys.platform == "darwin" else rss * 1024)
+
+
+def record_memory_metrics(registry, *, prefix: str = "proc") -> None:
+    """Set the process-level memory gauges on ``registry``."""
+    registry.gauge(f"{prefix}.peak_rss_bytes").set(peak_rss_bytes())
+
+
+# ---------------------------------------------------------------------------
+# Pool utilization accounting
+# ---------------------------------------------------------------------------
+
+
+class PoolStats:
+    """Busy/idle accounting for one pool dispatch (one batch of tasks).
+
+    The engine records ``submit_ns`` (wall clock when the batch was
+    submitted), adds one sample per completed task from the worker's
+    payload, then calls :meth:`export` with the dispatch's elapsed wall
+    time and :meth:`emit_wait_spans` against the parent tracer.
+    """
+
+    def __init__(self, workers: int, *, arena_bytes: int = 0) -> None:
+        self.workers = max(1, int(workers))
+        self.arena_bytes = int(arena_bytes)
+        self.submit_ns = time.time_ns()
+        # one (task_index, pid, busy_s, start_ns, rss_bytes) row per task
+        self.samples: list[tuple[int, int, float, int, int]] = []
+
+    def add_sample(self, index: int, payload: dict) -> None:
+        """Record one task's worker-side telemetry (tolerates old payloads)."""
+        self.samples.append(
+            (
+                index,
+                int(payload.get("pid", 0)),
+                float(payload.get("busy_s", 0.0)),
+                int(payload.get("start_ns", self.submit_ns)),
+                int(payload.get("max_rss_bytes", 0)),
+            )
+        )
+
+    # -- derived ----------------------------------------------------------
+
+    def busy_by_worker(self) -> dict[int, float]:
+        """Total busy seconds per worker pid."""
+        busy: dict[int, float] = {}
+        for _, pid, busy_s, _, _ in self.samples:
+            busy[pid] = busy.get(pid, 0.0) + busy_s
+        return busy
+
+    def total_busy_s(self) -> float:
+        return sum(b for _, _, b, _, _ in self.samples)
+
+    def utilization(self, wall_s: float) -> float:
+        """Fraction of the pool's capacity (workers x wall) spent busy."""
+        capacity = self.workers * wall_s
+        return self.total_busy_s() / capacity if capacity > 0 else 0.0
+
+    def imbalance_ratio(self) -> float:
+        """Max over mean per-worker busy time (Fig. 14's metric, >= 1).
+
+        The mean is over the pool's *worker slots* — a worker that never
+        got a task counts as zero busy, which is exactly the imbalance
+        the paper's histogram exposes.
+        """
+        busy = self.busy_by_worker()
+        total = self.total_busy_s()
+        if not busy or total <= 0:
+            return 1.0
+        return max(busy.values()) / (total / self.workers)
+
+    def max_worker_rss_bytes(self) -> int:
+        return max((r for _, _, _, _, r in self.samples), default=0)
+
+    # -- sinks ------------------------------------------------------------
+
+    def export(self, registry, *, wall_s: float, prefix: str = "engine.pool") -> None:
+        """Write the dispatch's gauges into a metrics registry.
+
+        Gauges are last-write-wins: a report that covers several pooled
+        dispatches (one per pivot, say) keeps the most recent one, which
+        is the regression-tracking behaviour gauges already have.
+        """
+        registry.gauge(f"{prefix}.workers").set(self.workers)
+        registry.gauge(f"{prefix}.tasks").set(len(self.samples))
+        registry.gauge(f"{prefix}.wall_s").set(wall_s)
+        registry.gauge(f"{prefix}.busy_s").set(self.total_busy_s())
+        registry.gauge(f"{prefix}.idle_s").set(
+            max(0.0, self.workers * wall_s - self.total_busy_s())
+        )
+        registry.gauge(f"{prefix}.utilization").set(self.utilization(wall_s))
+        registry.gauge(f"{prefix}.imbalance_ratio").set(self.imbalance_ratio())
+        registry.gauge(f"{prefix}.arena_bytes").set(self.arena_bytes)
+        registry.gauge(f"{prefix}.worker_peak_rss_bytes").set(
+            self.max_worker_rss_bytes()
+        )
+        record_memory_metrics(registry)  # the parent's own peak RSS
+
+    def emit_wait_spans(self, tracer, *, parent: int = -1) -> None:
+        """Add one ``pool.task.wait`` span per task to the parent trace.
+
+        The wait is submit-to-start queue latency, placed at the submit
+        instant on the parent tracer's epoch; each span carries the task
+        index and worker pid so it lands on the worker's timeline track.
+        """
+        if not getattr(tracer, "enabled", False):
+            return
+        epoch_ns = getattr(tracer, "epoch_ns", None)
+        if epoch_ns is None:
+            return
+        t0 = (self.submit_ns - epoch_ns) / 1e9
+        for index, pid, _, start_ns, _ in self.samples:
+            tracer.record_span(
+                "pool.task.wait",
+                t0=t0,
+                wall_s=max(0.0, (start_ns - self.submit_ns) / 1e9),
+                parent=parent,
+                attrs={"task": index, "pool_worker": index, "pool_pid": pid},
+            )
+
+
+# ---------------------------------------------------------------------------
+# Progress heartbeat
+# ---------------------------------------------------------------------------
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def progress_enabled() -> bool:
+    """Whether ``REPRO_PROGRESS`` asks for heartbeat lines."""
+    return os.environ.get("REPRO_PROGRESS", "").strip().lower() in _TRUTHY
+
+
+class Heartbeat:
+    """One structured progress line per completed unit, with ETA.
+
+    ``[progress] unit=block done=3/8 elapsed=1.2s eta=2.0s key=val ...``
+
+    Lines go to stderr (results own stdout).  Disabled instances cost
+    one attribute check per :meth:`tick`; the enable decision is made at
+    construction (``enabled=None`` defers to ``REPRO_PROGRESS``).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        unit: str,
+        *,
+        enabled: bool | None = None,
+        stream=None,
+    ) -> None:
+        self.total = int(total)
+        self.unit = unit
+        self.enabled = progress_enabled() if enabled is None else bool(enabled)
+        self.done = 0
+        self._stream = stream
+        self._t0 = time.perf_counter()
+
+    def tick(self, **fields) -> None:
+        """Mark one unit complete and print the heartbeat line."""
+        if not self.enabled:
+            return
+        self.done += 1
+        elapsed = time.perf_counter() - self._t0
+        if self.done and elapsed > 0:
+            eta = elapsed / self.done * (self.total - self.done)
+            eta_s = f"{eta:.1f}"
+        else:
+            eta_s = "?"
+        extras = "".join(f" {k}={v}" for k, v in fields.items())
+        print(
+            f"[progress] unit={self.unit} done={self.done}/{self.total} "
+            f"elapsed={elapsed:.1f}s eta={eta_s}s{extras}",
+            file=self._stream or sys.stderr,
+            flush=True,
+        )

@@ -133,9 +133,14 @@ def build_report(
     """
     tracer = tracer if tracer is not None else get_tracer()
     metrics = metrics if metrics is not None else get_metrics()
+    meta = dict(meta or {})
+    # Anchor the trace absolutely: consumers (Perfetto export, cross-run
+    # alignment) can place span t0 offsets on the wall clock.
+    if getattr(tracer, "enabled", False) and "trace_epoch_ns" not in meta:
+        meta["trace_epoch_ns"] = getattr(tracer, "epoch_ns", None)
     return RunReport(
         label=label,
-        meta=_roundtrip(meta or {}),
+        meta=_roundtrip(meta),
         spans=tracer.to_dicts(),
         span_totals=tracer.totals(),
         metrics=metrics.as_dict(),
@@ -192,6 +197,9 @@ class Comparison:
     checked: int
     time_threshold: float
     count_threshold: float
+    # every tracked metric's delta, flagged or not — the raw material of
+    # `repro-obs diff`'s full table
+    deltas: list[Delta] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -249,6 +257,7 @@ def compare(
     """
     regressions: list[Delta] = []
     improvements: list[Delta] = []
+    deltas: list[Delta] = []
     checked = 0
 
     base_counters = _counter_values(baseline)
@@ -270,6 +279,7 @@ def compare(
         floor = min_time_delta_s if is_time else 0.0
         kind = "time" if is_time else "count"
         delta = Delta(metric=name, kind=kind, baseline=base_v, current=cur_v)
+        deltas.append(delta)
         if cur_v > base_v * (1.0 + threshold) and cur_v - base_v > floor:
             regressions.append(delta)
         elif cur_v < base_v * (1.0 - threshold) and base_v - cur_v > floor:
@@ -280,4 +290,5 @@ def compare(
         checked=checked,
         time_threshold=time_threshold,
         count_threshold=count_threshold,
+        deltas=deltas,
     )

@@ -1,0 +1,156 @@
+"""Timeline exports: Chrome/Perfetto trace-event JSON and collapsed stacks.
+
+A finished trace (a live :class:`~repro.obs.trace.Tracer` or the
+``spans`` list of a saved run report — both carry the same flat span
+dicts) renders into the two formats the profiling ecosystem actually
+opens:
+
+* :func:`to_perfetto` — the Chrome trace-event format (``traceEvents``
+  with complete ``"X"`` events), loadable in https://ui.perfetto.dev or
+  ``chrome://tracing``.  Every span lands on a *track*: ``tid`` 0 is the
+  parent process's main timeline, and spans absorbed from pool workers
+  (tagged ``pool_worker=k`` on their roots by
+  :meth:`repro.obs.trace.Tracer.absorb`) go to ``tid`` ``k+1``, so a
+  pooled run reads like the per-thread timelines of the paper's Fig. 14.
+  Span attributes become the event's ``args``.
+* :func:`to_collapsed` — Brendan Gregg's collapsed-stack format
+  (``root;child;leaf <microseconds>`` per line), the input of
+  ``flamegraph.pl`` and https://speedscope.app.  Each span contributes
+  its *self* time (wall minus direct children), so the flamegraph adds
+  up to the root without double counting.
+
+Both consume plain span dicts, so they work on reports written by any
+worker count — PR 3's epoch re-basing in ``Tracer.absorb`` guarantees
+the ``t0`` offsets of absorbed worker spans are on the parent's epoch.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "span_tracks",
+    "to_perfetto",
+    "perfetto_json",
+    "to_collapsed",
+]
+
+_PID = 1  # single logical process per trace; tracks separate the workers
+
+
+def _spans_of(trace_or_spans) -> list[dict]:
+    """Accept a Tracer, a RunReport, or a raw ``to_dicts()`` span list."""
+    if hasattr(trace_or_spans, "to_dicts"):  # Tracer
+        return trace_or_spans.to_dicts()
+    if hasattr(trace_or_spans, "spans"):  # RunReport
+        return list(trace_or_spans.spans)
+    return list(trace_or_spans)
+
+
+def span_tracks(spans: list[dict]) -> list[int]:
+    """Track (``tid``) per span: 0 = main, ``k+1`` = pool worker ``k``.
+
+    A span inherits the ``pool_worker`` tag of its nearest tagged
+    ancestor-or-self — absorb only tags worker roots, but the whole
+    absorbed subtree belongs on that worker's track.
+    """
+    tids: list[int] = []
+    for i, s in enumerate(spans):
+        j, tid = i, 0
+        while j >= 0:
+            worker = spans[j].get("attrs", {}).get("pool_worker")
+            if worker is not None:
+                tid = int(worker) + 1
+                break
+            j = spans[j].get("parent", -1)
+        tids.append(tid)
+    return tids
+
+
+def to_perfetto(trace_or_spans, *, label: str = "repro") -> dict:
+    """The trace as a Chrome/Perfetto trace-event JSON document.
+
+    Returns ``{"traceEvents": [...], "displayTimeUnit": "ms"}`` with one
+    complete (``"ph": "X"``) event per span — ``ts``/``dur`` in
+    microseconds on the trace's epoch — preceded by process/thread
+    metadata events naming the tracks.  Events are ordered by
+    ``(tid, ts)``, so per-track timestamps are monotone.
+    """
+    spans = _spans_of(trace_or_spans)
+    tids = span_tracks(spans)
+
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": label},
+        }
+    ]
+    for tid in sorted(set(tids)):
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": "main" if tid == 0 else f"pool-worker-{tid - 1}"},
+            }
+        )
+
+    slices = [
+        {
+            "ph": "X",
+            "pid": _PID,
+            "tid": tid,
+            "name": s["name"],
+            "cat": s["name"].split(".", 1)[0],
+            "ts": s["t0"] * 1e6,
+            "dur": max(0.0, s["wall_s"]) * 1e6,
+            "args": dict(s.get("attrs", {})),
+        }
+        for s, tid in zip(spans, tids)
+    ]
+    slices.sort(key=lambda e: (e["tid"], e["ts"]))
+    events.extend(slices)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def perfetto_json(trace_or_spans, *, label: str = "repro", indent=None) -> str:
+    """:func:`to_perfetto`, serialized (NumPy-safe via the report encoder)."""
+    from repro.obs.report import _json_default
+
+    return json.dumps(
+        to_perfetto(trace_or_spans, label=label), default=_json_default, indent=indent
+    )
+
+
+def to_collapsed(trace_or_spans) -> str:
+    """The trace as collapsed stacks: ``a;b;c <self-microseconds>`` lines.
+
+    Each span is weighted by its self time — wall seconds minus the wall
+    seconds of its direct children, clamped at zero (absorbed worker
+    subtrees overlap their parent in wall time; the clamp keeps the
+    flamegraph consistent) — and identical stacks are merged.  Spans
+    whose self time rounds below one microsecond are dropped.
+    """
+    spans = _spans_of(trace_or_spans)
+    child_wall = [0.0] * len(spans)
+    for s in spans:
+        p = s.get("parent", -1)
+        if p >= 0:
+            child_wall[p] += max(0.0, s["wall_s"])
+
+    paths: list[str] = []
+    for i, s in enumerate(spans):
+        parent = s.get("parent", -1)
+        prefix = paths[parent] + ";" if parent >= 0 else ""
+        paths.append(prefix + s["name"])
+
+    weights: dict[str, int] = {}
+    for i, s in enumerate(spans):
+        self_us = int(round(max(0.0, s["wall_s"] - child_wall[i]) * 1e6))
+        if self_us > 0:
+            weights[paths[i]] = weights.get(paths[i], 0) + self_us
+    return "\n".join(f"{path} {w}" for path, w in sorted(weights.items()))

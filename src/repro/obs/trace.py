@@ -45,7 +45,12 @@ __all__ = [
 
 @dataclass
 class SpanRecord:
-    """One finished (or in-flight) span."""
+    """One finished (or in-flight) span.
+
+    ``t0`` is relative to the owning tracer's epoch; the tracer's
+    ``epoch_ns`` (absolute wall clock at construction) anchors the whole
+    trace, so timelines merged across processes stay absolute.
+    """
 
     name: str
     t0: float  # wall-clock start, seconds since the tracer's epoch
@@ -104,6 +109,10 @@ class Tracer:
         self.records: list[SpanRecord] = []
         self._stack: list[int] = []
         self._epoch = time.perf_counter()
+        # Absolute wall clock at the same instant as ``_epoch``: the
+        # cross-process anchor.  ``t0 + (epoch_ns - other.epoch_ns)/1e9``
+        # re-bases a span from another tracer onto this one's timeline.
+        self.epoch_ns = time.time_ns()
 
     def span(self, name: str, **attrs) -> _Span:
         """Open a span; use as ``with tracer.span("cd.run", key=val) as sp:``."""
@@ -126,8 +135,43 @@ class Tracer:
         elif index in self._stack:  # tolerate out-of-order exits
             self._stack.remove(index)
 
+    def record_span(
+        self,
+        name: str,
+        *,
+        t0: float,
+        wall_s: float,
+        cpu_s: float = 0.0,
+        parent: int = -1,
+        attrs: dict | None = None,
+    ) -> int:
+        """Append an already-measured span (no context manager involved).
+
+        Used for timings observed outside this process's control flow —
+        e.g. the pool's task-queue wait intervals, reconstructed in the
+        parent from worker-reported start stamps.  ``t0`` is on this
+        tracer's epoch; returns the new record's index.
+        """
+        depth = self.records[parent].depth + 1 if parent >= 0 else 0
+        rec = SpanRecord(
+            name=name,
+            t0=t0,
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            depth=depth,
+            parent=parent,
+            attrs=dict(attrs or {}),
+        )
+        self.records.append(rec)
+        return len(self.records) - 1
+
     def absorb(
-        self, records: list[dict], *, parent: int = -1, attrs: dict | None = None
+        self,
+        records: list[dict],
+        *,
+        parent: int = -1,
+        attrs: dict | None = None,
+        epoch_ns: int | None = None,
     ) -> None:
         """Fold another tracer's finished spans (``to_dicts()`` form) in.
 
@@ -136,17 +180,29 @@ class Tracer:
         and attributes, its ``parent``/``depth`` are re-based so worker
         roots hang under the record at index ``parent`` (``-1`` keeps
         them as roots), and ``attrs`` is merged into the absorbed roots
-        (e.g. ``{"pool_worker": 3}``).  Absorbed ``t0`` values are on the
-        worker's epoch, not this tracer's — span durations and nesting
-        stay exact, absolute start offsets across processes do not.
+        (e.g. ``{"pool_worker": 3}``).
+
+        ``epoch_ns`` is the absorbed tracer's wall-clock epoch
+        (``Tracer.epoch_ns`` captured in the worker).  When given, every
+        absorbed ``t0`` is shifted by the epoch difference so the merged
+        timeline is absolute on *this* tracer's epoch.  Without it the
+        worker offsets are unknowable, so roots are pinned to the start
+        of the span at ``parent`` (never before this run's epoch) and
+        descendants keep their offsets relative to their root.
         """
+        if epoch_ns is not None:
+            shift = (epoch_ns - self.epoch_ns) / 1e9
+        elif parent >= 0:
+            shift = self.records[parent].t0
+        else:
+            shift = 0.0
         offset = len(self.records)
         base_depth = self.records[parent].depth + 1 if parent >= 0 else 0
         for d in records:
             is_root = d["parent"] < 0
             rec = SpanRecord(
                 name=d["name"],
-                t0=d["t0"],
+                t0=d["t0"] + shift,
                 wall_s=d["wall_s"],
                 cpu_s=d["cpu_s"],
                 depth=base_depth + d["depth"],
@@ -185,6 +241,7 @@ class Tracer:
         self.records.clear()
         self._stack.clear()
         self._epoch = time.perf_counter()
+        self.epoch_ns = time.time_ns()
 
 
 class _NullSpan:
@@ -210,11 +267,22 @@ class NullTracer:
 
     enabled = False
     records: tuple = ()
+    epoch_ns = 0
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN
 
-    def absorb(self, records, *, parent: int = -1, attrs: dict | None = None) -> None:
+    def record_span(self, name: str, **kwargs) -> int:
+        return -1
+
+    def absorb(
+        self,
+        records,
+        *,
+        parent: int = -1,
+        attrs: dict | None = None,
+        epoch_ns: int | None = None,
+    ) -> None:
         pass
 
     def totals(self) -> dict:

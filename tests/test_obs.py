@@ -105,6 +105,73 @@ class TestTracer:
         finally:
             set_tracer(prev)
 
+    def test_record_span_manual(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            pass
+        idx = tr.record_span(
+            "pool.task.wait", t0=0.5, wall_s=0.25, parent=0, attrs={"task": 3}
+        )
+        rec = tr.records[idx]
+        assert rec.name == "pool.task.wait"
+        assert rec.parent == 0 and rec.depth == 1
+        assert rec.t0 == 0.5 and rec.wall_s == 0.25
+        assert rec.attrs == {"task": 3}
+
+
+class TestAbsorbEpochs:
+    """Regression: absorbed worker spans must land on the parent's timeline,
+    never before the parent run's epoch."""
+
+    def _worker_trace(self):
+        worker = Tracer()
+        with worker.span("cd.level", level=5):
+            with worker.span("leaf"):
+                pass
+        return worker
+
+    def test_epoch_rebase_makes_offsets_absolute(self):
+        parent = Tracer()
+        time.sleep(0.02)
+        with parent.span("cd.traversal"):
+            pass
+        worker = self._worker_trace()  # created ~0.02s after the parent epoch
+        parent.absorb(
+            worker.to_dicts(), parent=0, epoch_ns=worker.epoch_ns
+        )
+        shift = (worker.epoch_ns - parent.epoch_ns) / 1e9
+        assert shift >= 0.02
+        root, leaf = parent.records[1], parent.records[2]
+        assert root.t0 >= parent.records[0].t0  # not before the parent span
+        assert root.t0 >= 0.02  # absolute: carries the real wall offset
+        assert leaf.t0 >= root.t0  # children shifted identically
+
+    def test_absorbed_roots_never_precede_parent_without_epoch(self):
+        parent = Tracer()
+        time.sleep(0.02)
+        with parent.span("cd.traversal"):
+            pass
+        worker = self._worker_trace()
+        parent.absorb(worker.to_dicts(), parent=0)  # legacy payload: no epoch
+        host_t0 = parent.records[0].t0
+        for rec in parent.records[1:]:
+            assert rec.t0 >= host_t0
+            assert rec.t0 >= 0.0  # never before the run's epoch
+
+    def test_rootless_absorb_without_epoch_keeps_offsets(self):
+        parent = Tracer()
+        worker = self._worker_trace()
+        dicts = worker.to_dicts()
+        parent.absorb(dicts)  # parent=-1, no epoch: nothing to anchor on
+        assert [r.t0 for r in parent.records] == [d["t0"] for d in dicts]
+
+    def test_reset_renews_epoch(self):
+        tr = Tracer()
+        first = tr.epoch_ns
+        time.sleep(0.002)
+        tr.reset()
+        assert tr.epoch_ns > first
+
 
 class TestMetrics:
     def test_counter(self):
@@ -132,6 +199,25 @@ class TestMetrics:
         d = h.to_dict()
         assert sum(d["buckets"]) == 5
         assert d["buckets"][0] == 1  # the [0,1) observation
+
+    def test_empty_histogram_serializes_null_bounds(self, tmp_path):
+        """Regression: an unobserved histogram must emit ``min``/``max`` as
+        null (not +/-inf, which is invalid JSON) and survive a report
+        round-trip."""
+        reg = MetricsRegistry()
+        reg.histogram("empty")
+        d = reg.as_dict()["empty"]
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+        json.dumps(d)  # must not need a default= escape hatch
+
+        report = build_report("hist-null", metrics=reg)
+        path = tmp_path / "r.json"
+        report.save(path)
+        loaded = load_report(path)
+        again = loaded.metrics["empty"]
+        assert again["min"] is None and again["max"] is None
+        assert again["count"] == 0
 
     def test_type_collision_raises(self):
         reg = MetricsRegistry()

@@ -1,0 +1,362 @@
+"""Profiling layer: Perfetto/collapsed export, pool utilization, heartbeat,
+and the `repro-obs` analysis CLI."""
+
+import io
+import json
+
+import pytest
+
+from repro.cd.methods import AICA, MICA
+from repro.cd.traversal import TraversalConfig, run_cd
+from repro.engine.costs import DEFAULT_COSTS
+from repro.engine.device import GTX_1080_TI
+from repro.engine.pool import run_cd_parallel
+from repro.geometry.orientation import OrientationGrid
+from repro.obs.metrics import MetricsRegistry, use_metrics
+from repro.obs.profile import (
+    Heartbeat,
+    PoolStats,
+    peak_rss_bytes,
+    progress_enabled,
+    record_memory_metrics,
+)
+from repro.obs.report import build_report, load_report
+from repro.obs.timeline import perfetto_json, span_tracks, to_collapsed, to_perfetto
+from repro.obs.trace import Tracer, use_tracer
+
+GRID = OrientationGrid.square(6)
+
+
+def _synthetic_spans():
+    """A hand-built trace: main root with one child + one worker subtree."""
+    return [
+        {"name": "cd.run", "t0": 0.0, "wall_s": 1.0, "cpu_s": 0.9,
+         "depth": 0, "parent": -1, "attrs": {"method": "AICA"}},
+        {"name": "cd.traversal", "t0": 0.1, "wall_s": 0.8, "cpu_s": 0.7,
+         "depth": 1, "parent": 0, "attrs": {}},
+        {"name": "cd.run", "t0": 0.2, "wall_s": 0.5, "cpu_s": 0.5,
+         "depth": 2, "parent": 1, "attrs": {"pool_worker": 0}},
+        {"name": "cd.level", "t0": 0.25, "wall_s": 0.3, "cpu_s": 0.3,
+         "depth": 3, "parent": 2, "attrs": {"level": 5}},
+    ]
+
+
+class TestSpanTracks:
+    def test_main_is_track_zero(self):
+        tids = span_tracks(_synthetic_spans())
+        assert tids[0] == 0 and tids[1] == 0
+
+    def test_worker_subtree_inherits_track(self):
+        tids = span_tracks(_synthetic_spans())
+        assert tids[2] == 1  # tagged root -> worker 0 -> tid 1
+        assert tids[3] == 1  # untagged child inherits the root's track
+
+
+class TestPerfettoExport:
+    def test_schema_and_roundtrip(self):
+        doc = json.loads(perfetto_json(_synthetic_spans()))
+        assert isinstance(doc["traceEvents"], list)
+        assert doc["displayTimeUnit"] == "ms"
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 4
+        for e in slices:
+            assert set(e) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+            assert e["dur"] >= 0
+
+    def test_metadata_names_tracks(self):
+        doc = to_perfetto(_synthetic_spans(), label="unit")
+        meta = {
+            (e["tid"], e["args"]["name"])
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert meta == {(0, "main"), (1, "pool-worker-0")}
+        proc = [e for e in doc["traceEvents"] if e["name"] == "process_name"]
+        assert proc[0]["args"]["name"] == "unit"
+
+    def test_per_track_timestamps_monotone(self):
+        doc = to_perfetto(_synthetic_spans())
+        last = {}
+        for e in doc["traceEvents"]:
+            if e["ph"] != "X":
+                continue
+            assert e["ts"] >= last.get(e["tid"], -1.0)
+            last[e["tid"]] = e["ts"]
+
+    def test_pooled_run_export(self, sphere_scene):
+        """End-to-end: pooled traced run -> Perfetto doc with worker tracks
+        on absolute (parent-epoch) timestamps."""
+        with use_tracer(Tracer()) as tr, use_metrics(MetricsRegistry()):
+            run_cd(sphere_scene, GRID, MICA(), workers=2)
+        doc = json.loads(perfetto_json(tr))
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        tids = {e["tid"] for e in slices}
+        assert {1, 2} <= tids, "one track per pool worker"
+        # absolute epochs: no worker span starts before the parent's
+        # cd.traversal span (which opened before the pool spawned)
+        trav_ts = min(e["ts"] for e in slices if e["name"] == "cd.traversal")
+        for e in slices:
+            if e["tid"] > 0:
+                assert e["ts"] >= trav_ts
+        # worker tid matches the pool_worker attr of the absorbed spans
+        for e in slices:
+            worker = e["args"].get("pool_worker")
+            if worker is not None:
+                assert e["tid"] == worker + 1
+        last = {}
+        for e in slices:
+            assert e["ts"] >= last.get(e["tid"], -1.0), "per-track monotone"
+            last[e["tid"]] = e["ts"]
+
+
+class TestCollapsedExport:
+    def test_self_time_stacks(self):
+        lines = dict(
+            (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+            for line in to_collapsed(_synthetic_spans()).splitlines()
+        )
+        # cd.run self = 1.0 - 0.8 child
+        assert lines["cd.run"] == pytest.approx(200_000, abs=2)
+        assert lines["cd.run;cd.traversal"] == pytest.approx(300_000, abs=2)
+        assert lines["cd.run;cd.traversal;cd.run;cd.level"] == pytest.approx(
+            300_000, abs=2
+        )
+
+    def test_zero_weight_dropped(self):
+        spans = [
+            {"name": "a", "t0": 0.0, "wall_s": 0.5, "cpu_s": 0.0,
+             "depth": 0, "parent": -1, "attrs": {}},
+            {"name": "b", "t0": 0.0, "wall_s": 0.5, "cpu_s": 0.0,
+             "depth": 1, "parent": 0, "attrs": {}},
+        ]
+        out = to_collapsed(spans)
+        assert "a;b 500000" in out
+        assert "\na " not in out and not out.startswith("a ")  # a's self = 0
+
+
+class TestPoolStats:
+    def _stats(self, busy_by_task, pids, workers=2):
+        st = PoolStats(workers, arena_bytes=1024)
+        for i, (busy, pid) in enumerate(zip(busy_by_task, pids)):
+            st.add_sample(
+                i,
+                {"pid": pid, "busy_s": busy, "start_ns": st.submit_ns + i * 1000,
+                 "max_rss_bytes": 10_000 + i},
+            )
+        return st
+
+    def test_utilization_and_imbalance(self):
+        st = self._stats([1.0, 3.0], pids=[11, 22], workers=2)
+        assert st.total_busy_s() == 4.0
+        assert st.utilization(wall_s=4.0) == pytest.approx(0.5)
+        # max busy 3.0 vs mean 2.0
+        assert st.imbalance_ratio() == pytest.approx(1.5)
+
+    def test_idle_worker_counts_in_imbalance(self):
+        st = self._stats([2.0, 2.0], pids=[11, 11], workers=2)
+        # one worker did everything: max 4.0 over mean 2.0
+        assert st.imbalance_ratio() == pytest.approx(2.0)
+
+    def test_export_gauges(self):
+        st = self._stats([1.0, 1.0], pids=[1, 2], workers=2)
+        reg = MetricsRegistry()
+        st.export(reg, wall_s=2.0)
+        d = reg.as_dict()
+        assert d["engine.pool.workers"]["value"] == 2
+        assert d["engine.pool.tasks"]["value"] == 2
+        assert d["engine.pool.utilization"]["value"] == pytest.approx(0.5)
+        assert d["engine.pool.imbalance_ratio"]["value"] == pytest.approx(1.0)
+        assert d["engine.pool.arena_bytes"]["value"] == 1024
+        assert d["engine.pool.worker_peak_rss_bytes"]["value"] == 10_001
+        assert d["engine.pool.idle_s"]["value"] == pytest.approx(2.0)
+        assert d["proc.peak_rss_bytes"]["value"] > 0
+
+    def test_wait_spans(self):
+        st = self._stats([1.0, 1.0], pids=[1, 2], workers=2)
+        tr = Tracer()
+        with tr.span("cd.traversal"):
+            pass
+        st.emit_wait_spans(tr, parent=0)
+        waits = [r for r in tr.records if r.name == "pool.task.wait"]
+        assert len(waits) == 2
+        assert all(r.parent == 0 and r.wall_s >= 0 for r in waits)
+        assert {r.attrs["pool_worker"] for r in waits} == {0, 1}
+
+    def test_empty_dispatch(self):
+        st = PoolStats(4)
+        assert st.utilization(1.0) == 0.0
+        assert st.imbalance_ratio() == 1.0
+        assert st.max_worker_rss_bytes() == 0
+
+
+class TestPoolGauges:
+    """The acceptance gauges on real pooled runs, workers=1 vs 4."""
+
+    def _parallel_run(self, scene, workers):
+        with use_metrics(MetricsRegistry()) as reg:
+            result = run_cd_parallel(
+                scene, GRID, AICA(),
+                device=GTX_1080_TI, costs=DEFAULT_COSTS,
+                config=TraversalConfig(), workers=workers,
+            )
+        return result, reg.as_dict()
+
+    def test_single_worker_pool(self, sphere_scene):
+        _, d = self._parallel_run(sphere_scene, 1)
+        assert 0.0 < d["engine.pool.utilization"]["value"] <= 1.0 + 1e-9
+        assert d["engine.pool.imbalance_ratio"]["value"] == pytest.approx(1.0)
+        assert d["engine.pool.workers"]["value"] == 1
+        assert d["engine.pool.arena_bytes"]["value"] > 0
+        assert d["engine.pool.worker_peak_rss_bytes"]["value"] > 0
+        assert d["proc.peak_rss_bytes"]["value"] > 0
+
+    def test_four_worker_pool(self, sphere_scene):
+        res4, d = self._parallel_run(sphere_scene, 4)
+        assert 0.0 < d["engine.pool.utilization"]["value"] <= 1.0 + 1e-9
+        assert d["engine.pool.imbalance_ratio"]["value"] >= 1.0
+        assert d["engine.pool.tasks"]["value"] >= 2
+        assert d["engine.pool.arena_bytes"]["value"] > 0
+        # profiling changes nothing: same map as the single-worker pool
+        res1, _ = self._parallel_run(sphere_scene, 1)
+        assert (res4.collides == res1.collides).all()
+
+    def test_pooled_report_contains_gauges(self, sphere_scene, tmp_path):
+        """The ISSUE acceptance path: pooled run -> report -> gauges."""
+        with use_tracer(Tracer()) as tr, use_metrics(MetricsRegistry()) as reg:
+            run_cd(sphere_scene, GRID, AICA(), workers=2)
+        rep = build_report("pooled", tracer=tr, metrics=reg)
+        path = tmp_path / "pooled.json"
+        rep.save(path)
+        loaded = load_report(path)
+        for gauge in (
+            "engine.pool.utilization",
+            "engine.pool.imbalance_ratio",
+            "engine.pool.arena_bytes",
+            "engine.pool.worker_peak_rss_bytes",
+            "proc.peak_rss_bytes",
+        ):
+            assert gauge in loaded.metrics, gauge
+            assert loaded.metrics[gauge]["type"] == "gauge"
+        assert loaded.meta["trace_epoch_ns"] == tr.epoch_ns
+        assert "pool.task.wait" in loaded.span_names()
+
+
+class TestMemoryTelemetry:
+    def test_peak_rss_positive(self):
+        assert peak_rss_bytes() > 1024 * 1024  # a Python process is > 1 MiB
+
+    def test_record_memory_metrics(self):
+        reg = MetricsRegistry()
+        record_memory_metrics(reg)
+        assert reg.gauge("proc.peak_rss_bytes").value == peak_rss_bytes()
+
+
+class TestHeartbeat:
+    def test_disabled_by_default(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        assert not progress_enabled()
+        hb = Heartbeat(4, "block")
+        hb.tick()
+        assert capsys.readouterr().err == ""
+
+    def test_line_format_and_eta(self):
+        out = io.StringIO()
+        hb = Heartbeat(4, "block", enabled=True, stream=out)
+        hb.tick(t0=0, t1=2048)
+        hb.tick(t0=2048, t1=4096)
+        lines = out.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("[progress] unit=block done=1/4 ")
+        assert "eta=" in lines[0] and "t1=2048" in lines[0]
+        assert "done=2/4" in lines[1]
+
+    def test_serial_run_emits_heartbeat(self, sphere_scene, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        small = TraversalConfig(thread_block=16)  # 36 threads -> 3 blocks
+        run_cd(sphere_scene, GRID, AICA(), config=small, workers=1)
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if l.startswith("[progress]")]
+        assert len(lines) == 3
+        assert "unit=block" in lines[0] and "done=3/3" in lines[-1]
+        assert "eta=" in lines[0]
+
+    def test_pooled_run_emits_parent_heartbeat(
+        self, sphere_scene, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        run_cd(sphere_scene, GRID, AICA(), workers=2)
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if l.startswith("[progress]")]
+        assert lines, "parent pool loop should print per-task heartbeats"
+        assert all("unit=block" in l for l in lines)
+
+    def test_progress_off_keeps_stderr_clean(self, sphere_scene, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        run_cd(sphere_scene, GRID, AICA(), workers=2)
+        assert "[progress]" not in capsys.readouterr().err
+
+
+class TestReproObsCli:
+    @pytest.fixture()
+    def report_path(self, sphere_scene, tmp_path):
+        with use_tracer(Tracer()) as tr, use_metrics(MetricsRegistry()) as reg:
+            run_cd(sphere_scene, GRID, AICA(), workers=2)
+        rep = build_report("cli-test", tracer=tr, metrics=reg)
+        path = tmp_path / "report.json"
+        rep.save(path)
+        return path
+
+    def test_tree(self, report_path, capsys):
+        from repro.obs.cli import main
+
+        assert main(["tree", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cd.run" in out and "wall" in out
+
+    def test_top(self, report_path, capsys):
+        from repro.obs.cli import main
+
+        assert main(["top", str(report_path), "--by", "cpu", "-n", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cd." in out
+
+    def test_export_perfetto(self, report_path, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        out_path = tmp_path / "trace.json"
+        assert main(
+            ["export", str(report_path), "--format", "perfetto", "-o", str(out_path)]
+        ) == 0
+        doc = json.loads(out_path.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        tids = {e["tid"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {1, 2} <= tids  # two worker tracks
+
+    def test_export_collapsed_stdout(self, report_path, capsys):
+        from repro.obs.cli import main
+
+        assert main(["export", str(report_path), "--format", "collapsed"]) == 0
+        out = capsys.readouterr().out
+        assert any(
+            line.startswith("cd.run") and line.rsplit(" ", 1)[1].isdigit()
+            for line in out.splitlines()
+            if line.strip()
+        )
+
+    def test_diff(self, report_path, tmp_path, capsys):
+        from repro.obs.cli import main
+
+        inflated = tmp_path / "inflated.json"
+        rep = load_report(report_path)
+        rep.metrics["cd.total_checks"]["value"] *= 2
+        rep.save(inflated)
+        assert main(["diff", str(report_path), str(report_path)]) == 0
+        assert main(["diff", str(report_path), str(inflated)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "cd.total_checks" in out
+
+    def test_unreadable_report_is_usage_error(self, capsys):
+        from repro.obs.cli import main
+
+        assert main(["tree", "/nonexistent/report.json"]) == 2
+        assert "cannot load report" in capsys.readouterr().err
