@@ -78,6 +78,7 @@ def run_along_path(
     costs: CostModel = DEFAULT_COSTS,
     config: TraversalConfig = TraversalConfig(),
     workers: int | None = None,
+    shared=None,
 ) -> PathRunResult:
     """Exact accessibility maps at every pivot, in path order.
 
@@ -90,6 +91,10 @@ def run_along_path(
     since each pivot is an independent CD problem; the per-pivot results
     are byte-identical to the serial loop.  A single-pivot path instead
     falls through to ``run_cd``'s own orientation sharding.
+
+    ``shared`` is an optional prebuilt
+    :class:`repro.engine.pool.SharedScene` arena holding ``tree``,
+    consulted only by the parallel path (the caller keeps ownership).
     """
     from repro.engine.pool import resolve_workers, run_along_path_parallel
 
@@ -101,6 +106,7 @@ def run_along_path(
         return run_along_path_parallel(
             tree, tool, pivots, grid, method,
             device=device, costs=costs, config=config, workers=n_workers,
+            shared=shared,
         )
     tracer = get_tracer()
     heartbeat = Heartbeat(len(pivots), "pivot") if progress_enabled() else None

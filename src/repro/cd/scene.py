@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -36,4 +37,33 @@ class Scene:
 
     def with_pivot(self, pivot) -> "Scene":
         """Same target and tool, new pivot (for per-path-point sweeps)."""
-        return Scene(self.tree, self.tool, np.asarray(pivot, dtype=np.float64))
+        # __post_init__ normalizes the pivot; don't convert twice here.
+        return Scene(self.tree, self.tool, pivot)
+
+    def content_digest(self) -> str:
+        """Stable sha256 identity of the full problem instance.
+
+        Hashes the octree's domain, depth and per-level code/status
+        arrays, the tool's cylinder stack, and the pivot — everything
+        the accessibility map depends on.  Two scenes with equal digests
+        produce byte-identical maps for every method and grid, which is
+        what lets :mod:`repro.service` key registered scenes, memoized
+        ICA tables, and cached query results by content rather than by
+        object identity.
+
+        The child-link arrays are derived from the codes and deliberately
+        excluded, so a tree loaded from ``.npz`` (links rebuilt) hashes
+        the same as the tree that was saved.
+        """
+        h = hashlib.sha256()
+        h.update(b"repro.scene/v1")
+        h.update(np.asarray(self.tree.domain.lo, dtype=np.float64).tobytes())
+        h.update(np.asarray(self.tree.domain.hi, dtype=np.float64).tobytes())
+        h.update(int(self.tree.depth).to_bytes(4, "little"))
+        for lev in self.tree.levels:
+            h.update(np.ascontiguousarray(lev.codes, dtype=np.uint64).tobytes())
+            h.update(np.ascontiguousarray(lev.status, dtype=np.uint8).tobytes())
+        for arr in (self.tool.z0, self.tool.z1, self.tool.radius):
+            h.update(np.ascontiguousarray(arr, dtype=np.float64).tobytes())
+        h.update(self.pivot.tobytes())
+        return h.hexdigest()

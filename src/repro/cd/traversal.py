@@ -374,6 +374,26 @@ def _finalize_run(
     )
 
 
+def _check_table(table: IcaTable, scene: Scene, config: TraversalConfig) -> None:
+    """Reject a precomputed table that was built for a different problem.
+
+    A mismatched pivot changes the map; a mismatched ``S`` changes the
+    memo/fly counter split — either would silently break the byte-for-byte
+    equivalence the caller is promised, so both are hard errors.
+    """
+    if not np.array_equal(np.asarray(table.pivot, dtype=np.float64), scene.pivot):
+        raise ValueError(
+            f"precomputed ICA table pivot {np.asarray(table.pivot).tolist()} "
+            f"does not match scene pivot {scene.pivot.tolist()}"
+        )
+    expect = int(min(config.memo_levels, scene.tree.depth + 1))
+    if table.levels != expect:
+        raise ValueError(
+            f"precomputed ICA table has S={table.levels}, "
+            f"but this run needs S={expect} (config.memo_levels={config.memo_levels})"
+        )
+
+
 def run_cd(
     scene: Scene,
     grid: OrientationGrid,
@@ -383,6 +403,8 @@ def run_cd(
     costs: CostModel = DEFAULT_COSTS,
     config: TraversalConfig = TraversalConfig(),
     workers: int | None = None,
+    table: IcaTable | None = None,
+    shared=None,
 ) -> CDResult:
     """Generate the accessibility map for ``scene`` with ``method``.
 
@@ -396,14 +418,25 @@ def run_cd(
     the orientation thread-blocks are sharded over ``N`` processes by
     :mod:`repro.engine.pool`; the map and counters are byte-identical to
     the serial path for every method.
+
+    ``table`` is an optional precomputed stage-1 ICA table for exactly
+    this (scene, ``config.memo_levels``) — e.g. loaded with
+    :func:`repro.ica.io.load_ica_table` or cached by a scene registry —
+    validated against the scene before use.  ``shared`` is an optional
+    prebuilt :class:`repro.engine.pool.SharedScene` arena (tree + table)
+    consulted only by the parallel path; the caller keeps ownership.
+    Both leave results byte-identical; they only skip redundant setup.
     """
     from repro.engine.pool import resolve_workers, run_cd_parallel
 
+    if table is not None and getattr(method, "needs_table", False):
+        _check_table(table, scene, config)
     n_workers = resolve_workers(workers if workers is not None else config.workers)
     if n_workers > 1 and grid.size > 1:
         return run_cd_parallel(
             scene, grid, method,
             device=device, costs=costs, config=config, workers=n_workers,
+            table=table, shared=shared,
         )
 
     t_wall0 = time.perf_counter()
@@ -415,8 +448,12 @@ def run_cd(
     with tracer.span("cd.run", method=method.name, orientations=M) as run_sp:
         table_entries = 0
         if getattr(method, "needs_table", False):
-            rt.table = build_ica_table(
-                scene.tree, scene.tool, scene.pivot, levels=config.memo_levels
+            rt.table = (
+                table
+                if table is not None
+                else build_ica_table(
+                    scene.tree, scene.tool, scene.pivot, levels=config.memo_levels
+                )
             )
             table_entries = rt.table.n_entries
 

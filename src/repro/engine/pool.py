@@ -35,6 +35,7 @@ from __future__ import annotations
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import replace
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 
@@ -51,6 +52,9 @@ __all__ = [
     "resolve_workers",
     "SharedScene",
     "WorkerPool",
+    "get_ambient_pool",
+    "set_ambient_pool",
+    "use_pool",
     "run_cd_parallel",
     "run_along_path_parallel",
 ]
@@ -288,6 +292,46 @@ class WorkerPool:
 
 
 # ---------------------------------------------------------------------------
+# Ambient (long-lived) pool
+# ---------------------------------------------------------------------------
+
+# By default every parallel run spins up its own WorkerPool and tears it
+# down — correct, but per-call process startup is pure overhead for a
+# long-lived caller answering many requests (repro.service).  Such a
+# caller installs one pool here; run_cd_parallel / run_along_path_parallel
+# dispatch onto it instead and never shut it down.
+_AMBIENT_POOL: WorkerPool | None = None
+
+
+def get_ambient_pool() -> WorkerPool | None:
+    """The installed long-lived pool, or ``None`` (per-call pools)."""
+    return _AMBIENT_POOL
+
+
+def set_ambient_pool(pool: WorkerPool | None) -> WorkerPool | None:
+    """Install ``pool`` as the ambient pool; returns the previous one.
+
+    The caller keeps ownership: the parallel entry points never shut an
+    ambient pool down, so install ``None`` and ``shutdown()`` it yourself
+    when done.
+    """
+    global _AMBIENT_POOL
+    prev = _AMBIENT_POOL
+    _AMBIENT_POOL = pool
+    return prev
+
+
+@contextmanager
+def use_pool(pool: WorkerPool | None):
+    """Scoped :func:`set_ambient_pool`: reuse ``pool`` for the block."""
+    prev = set_ambient_pool(pool)
+    try:
+        yield pool
+    finally:
+        set_ambient_pool(prev)
+
+
+# ---------------------------------------------------------------------------
 # Worker task functions (module-level: picklable under any start method)
 # ---------------------------------------------------------------------------
 
@@ -416,11 +460,22 @@ def _block_ranges(M: int, workers: int, thread_block: int) -> list[tuple[int, in
     return [(a, min(a + chunk, M)) for a in range(0, M, chunk)]
 
 
-def run_cd_parallel(scene, grid, method, *, device, costs, config, workers: int):
+def run_cd_parallel(
+    scene, grid, method, *, device, costs, config, workers: int,
+    table: IcaTable | None = None, shared: "SharedScene | None" = None,
+):
     """One CD run with orientation thread-blocks sharded over a pool.
 
     Called by :func:`repro.cd.traversal.run_cd` when the resolved worker
     count exceeds 1; produces a byte-identical :class:`CDResult`.
+
+    ``table`` is an optional precomputed stage-1 table for this exact
+    (scene, memo_levels) — validated upstream by ``run_cd`` — and
+    ``shared`` an optional prebuilt arena already holding the tree (and
+    the table, when the method uses one); both let a long-lived caller
+    skip the per-request rebuild.  A caller-provided arena is never
+    destroyed here, and dispatch goes to the ambient pool
+    (:func:`use_pool`) when one is installed.
     """
     from repro.cd.traversal import _finalize_run
     from repro.engine.counters import ThreadCounters
@@ -435,17 +490,21 @@ def run_cd_parallel(scene, grid, method, *, device, costs, config, workers: int)
     with tracer.span(
         "cd.run", method=method.name, orientations=M, workers=n_workers
     ) as run_sp:
-        table = None
         table_entries = 0
         if getattr(method, "needs_table", False):
-            table = build_ica_table(
-                scene.tree, scene.tool, scene.pivot, levels=config.memo_levels
-            )
+            if table is None:
+                table = build_ica_table(
+                    scene.tree, scene.tool, scene.pivot, levels=config.memo_levels
+                )
             table_entries = table.n_entries
+        else:
+            table = None  # never ship a table the method will not read
 
-        with tracer.span("pool.share") as share_sp:
-            shared = SharedScene.create(scene.tree, table)
-            share_sp.set(nbytes=shared.nbytes, tasks=len(ranges))
+        own_arena = shared is None
+        if own_arena:
+            with tracer.span("pool.share") as share_sp:
+                shared = SharedScene.create(scene.tree, table)
+                share_sp.set(nbytes=shared.nbytes, tasks=len(ranges))
 
         jobs = [
             {
@@ -471,14 +530,13 @@ def run_cd_parallel(scene, grid, method, *, device, costs, config, workers: int)
             with tracer.span("cd.traversal", start_level=L0, workers=n_workers) as tsp:
                 pool_w0 = time.perf_counter()
                 stats = PoolStats(n_workers, arena_bytes=shared.nbytes)
-                with WorkerPool(n_workers) as pool:
-                    payloads = pool.map(
-                        _cd_block_task,
-                        jobs,
-                        on_done=(
-                            (lambda i: heartbeat.tick(block=i)) if heartbeat else None
-                        ),
-                    )
+                on_done = (lambda i: heartbeat.tick(block=i)) if heartbeat else None
+                ambient = get_ambient_pool()
+                if ambient is not None:
+                    payloads = ambient.map(_cd_block_task, jobs, on_done=on_done)
+                else:
+                    with WorkerPool(n_workers) as pool:
+                        payloads = pool.map(_cd_block_task, jobs, on_done=on_done)
                 pool_wall = time.perf_counter() - pool_w0
                 for k, payload in enumerate(payloads):
                     a, b = payload["t0"], payload["t1"]
@@ -499,7 +557,8 @@ def run_cd_parallel(scene, grid, method, *, device, costs, config, workers: int)
                     stats.emit_wait_spans(tracer, parent=tsp.index)
                 stats.export(get_metrics(), wall_s=pool_wall)
         finally:
-            shared.destroy()
+            if own_arena:
+                shared.destroy()
 
         return _finalize_run(
             scene, grid, method,
@@ -510,7 +569,8 @@ def run_cd_parallel(scene, grid, method, *, device, costs, config, workers: int)
 
 
 def run_along_path_parallel(
-    tree, tool, pivots: np.ndarray, grid, method, *, device, costs, config, workers: int
+    tree, tool, pivots: np.ndarray, grid, method, *, device, costs, config,
+    workers: int, shared: "SharedScene | None" = None,
 ):
     """A path run with pivots sharded over a pool.
 
@@ -518,13 +578,20 @@ def run_along_path_parallel(
     shared tree; the parent reassembles results in path order, re-exports
     each run's metrics, folds worker traces under per-pivot spans, and
     computes the overlap statistics exactly as the serial path does.
+
+    ``shared`` — when given — is a prebuilt arena holding this tree (it
+    may also carry an ICA table; pivot workers ignore it since every
+    pivot needs its own).  Caller-provided arenas are not destroyed, and
+    the ambient pool (:func:`use_pool`) is reused when installed.
     """
     from repro.cd.pathrun import PathRunResult, map_overlap
     from repro.cd.traversal import _export_run_metrics
 
     tracer = get_tracer()
     n_workers = min(workers, len(pivots))
-    shared = SharedScene.create(tree)
+    own_arena = shared is None
+    if own_arena:
+        shared = SharedScene.create(tree)
     heartbeat = Heartbeat(len(pivots), "pivot") if progress_enabled() else None
     try:
         with tracer.span(
@@ -548,14 +615,13 @@ def run_along_path_parallel(
             ]
             pool_w0 = time.perf_counter()
             stats = PoolStats(n_workers, arena_bytes=shared.nbytes)
-            with WorkerPool(n_workers) as pool:
-                payloads = pool.map(
-                    _pivot_task,
-                    jobs,
-                    on_done=(
-                        (lambda i: heartbeat.tick(pivot=i)) if heartbeat else None
-                    ),
-                )
+            on_done = (lambda i: heartbeat.tick(pivot=i)) if heartbeat else None
+            ambient = get_ambient_pool()
+            if ambient is not None:
+                payloads = ambient.map(_pivot_task, jobs, on_done=on_done)
+            else:
+                with WorkerPool(n_workers) as pool:
+                    payloads = pool.map(_pivot_task, jobs, on_done=on_done)
             pool_wall = time.perf_counter() - pool_w0
             for k, payload in enumerate(payloads):
                 stats.add_sample(k, payload)
@@ -563,7 +629,8 @@ def run_along_path_parallel(
                 stats.emit_wait_spans(tracer, parent=pool_sp.index)
             stats.export(get_metrics(), wall_s=pool_wall)
     finally:
-        shared.destroy()
+        if own_arena:
+            shared.destroy()
 
     results = [None] * len(pivots)
     for payload in payloads:

@@ -1,0 +1,67 @@
+"""ICA-table serialization (single-file ``.npz``).
+
+Stage 1 of AICA — the memoized per-voxel ICA table — is recomputed from
+scratch by every process that needs it, even though it is a pure
+function of (tree, tool, pivot, S).  For a service answering many
+queries against one registered scene, or a bench run repeated at a fixed
+seed, that is wasted setup time: the table round-trips to disk exactly
+like the octree does (:mod:`repro.octree.io`), so it can be warm-started
+instead.
+
+The format mirrors the octree one: a flat ``.npz`` with an explicit
+version tag, the pivot, the memoized level count ``S``, and per-level
+``cos1``/``cos2`` arrays.  Loading a truncated or corrupt file raises a
+:class:`ValueError` naming the missing array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ica.table import IcaTable
+
+__all__ = ["save_ica_table", "load_ica_table", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_ica_table(table: IcaTable, path) -> None:
+    """Write ``table`` to ``path`` as a compressed ``.npz``."""
+    payload: dict[str, np.ndarray] = {
+        "format_version": np.asarray(FORMAT_VERSION),
+        "pivot": np.asarray(table.pivot, dtype=np.float64),
+        "levels": np.asarray(table.levels),
+        "n_levels_stored": np.asarray(len(table.cos1)),
+        "n_entries": np.asarray(table.n_entries),
+    }
+    for l in range(len(table.cos1)):
+        payload[f"cos1_{l}"] = table.cos1[l]
+        payload[f"cos2_{l}"] = table.cos2[l]
+    np.savez_compressed(path, **payload)
+
+
+def _read(data, key: str, path) -> np.ndarray:
+    try:
+        return data[key]
+    except KeyError:
+        raise ValueError(
+            f"corrupt or truncated ICA table file {path!r}: missing array {key!r}"
+        ) from None
+
+
+def load_ica_table(path) -> IcaTable:
+    """Load a table written by :func:`save_ica_table`."""
+    with np.load(path) as data:
+        version = int(_read(data, "format_version", path))
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported ICA table format version {version} "
+                f"(expected {FORMAT_VERSION})"
+            )
+        pivot = _read(data, "pivot", path).astype(np.float64)
+        levels = int(_read(data, "levels", path))
+        stored = int(_read(data, "n_levels_stored", path))
+        n_entries = int(_read(data, "n_entries", path))
+        cos1 = [_read(data, f"cos1_{l}", path).astype(np.float64) for l in range(stored)]
+        cos2 = [_read(data, f"cos2_{l}", path).astype(np.float64) for l in range(stored)]
+    return IcaTable(pivot=pivot, levels=levels, cos1=cos1, cos2=cos2, n_entries=n_entries)

@@ -114,6 +114,12 @@ class Tracer:
         # re-bases a span from another tracer onto this one's timeline.
         self.epoch_ns = time.time_ns()
 
+    def now(self) -> float:
+        """Seconds since this tracer's epoch — the ``t0`` scale of
+        :meth:`record_span`, for callers measuring spans outside the
+        nested ``span()`` stack (e.g. concurrent request handlers)."""
+        return time.perf_counter() - self._epoch
+
     def span(self, name: str, **attrs) -> _Span:
         """Open a span; use as ``with tracer.span("cd.run", key=val) as sp:``."""
         parent = self._stack[-1] if self._stack else -1
@@ -268,6 +274,9 @@ class NullTracer:
     enabled = False
     records: tuple = ()
     epoch_ns = 0
+
+    def now(self) -> float:
+        return 0.0
 
     def span(self, name: str, **attrs) -> _NullSpan:
         return _NULL_SPAN

@@ -33,20 +33,35 @@ def save_octree(tree: LinearOctree, path) -> None:
     np.savez_compressed(path, **payload)
 
 
+def _read(data, key: str, path) -> np.ndarray:
+    """One ``.npz`` member, with a clear error on truncated/corrupt files."""
+    try:
+        return data[key]
+    except KeyError:
+        raise ValueError(
+            f"corrupt or truncated octree file {path!r}: missing array {key!r}"
+        ) from None
+
+
 def load_octree(path) -> LinearOctree:
-    """Load a tree written by :func:`save_octree` (child links are rebuilt)."""
+    """Load a tree written by :func:`save_octree` (child links are rebuilt).
+
+    Raises :class:`ValueError` — naming the missing array — when the file
+    is truncated or not an octree ``.npz`` at all, rather than leaking a
+    bare :class:`KeyError` from the archive lookup.
+    """
     with np.load(path) as data:
-        version = int(data["format_version"])
+        version = int(_read(data, "format_version", path))
         if version != FORMAT_VERSION:
             raise ValueError(
                 f"unsupported octree format version {version} (expected {FORMAT_VERSION})"
             )
-        domain = AABB(data["domain_lo"], data["domain_hi"])
-        depth = int(data["depth"])
+        domain = AABB(_read(data, "domain_lo", path), _read(data, "domain_hi", path))
+        depth = int(_read(data, "depth", path))
         levels = []
         for l in range(depth + 1):
-            codes = data[f"codes_{l}"].astype(np.uint64)
-            status = data[f"status_{l}"].astype(np.uint8)
+            codes = _read(data, f"codes_{l}", path).astype(np.uint64)
+            status = _read(data, f"status_{l}", path).astype(np.uint8)
             levels.append(
                 OctreeLevel(
                     codes=codes,

@@ -1,0 +1,30 @@
+"""repro.service — long-lived accessibility-map query service.
+
+Turns the one-shot ``run_cd`` / ``run_along_path`` pipeline into a
+server: scenes are registered once under their content digest
+(:mod:`~repro.service.registry`), identical concurrent queries coalesce
+into one traversal (:mod:`~repro.service.batching`), finished results
+are served from a bounded cache (:mod:`~repro.service.cache`), and a
+stdlib JSON/HTTP front end (:mod:`~repro.service.http`) exposes it all
+— see ``docs/serving.md`` and the ``repro-serve`` / ``repro-loadgen``
+console scripts.
+"""
+
+from repro.service.batching import Backpressure, QueryBroker
+from repro.service.cache import ResultCache
+from repro.service.core import QueryResult, QuerySpec, Service
+from repro.service.http import ServiceHTTPServer, serve
+from repro.service.registry import SceneRegistry, UnknownSceneError
+
+__all__ = [
+    "Backpressure",
+    "QueryBroker",
+    "QueryResult",
+    "QuerySpec",
+    "ResultCache",
+    "SceneRegistry",
+    "Service",
+    "ServiceHTTPServer",
+    "UnknownSceneError",
+    "serve",
+]

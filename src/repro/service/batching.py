@@ -1,0 +1,120 @@
+"""Request coalescing and bounded dispatch with explicit backpressure.
+
+Two clients asking for the same accessibility map at the same time
+should cost one traversal, not two: the broker keys every computation by
+its full query digest and a submission whose key is already *in flight*
+joins the existing future instead of enqueueing a duplicate
+(``service.coalesced`` counts the joins).
+
+Distinct queries go through a bounded dispatch queue.  When the number
+of admitted-but-unfinished computations reaches ``max_queue`` the broker
+*rejects* the submission with :class:`Backpressure` (the HTTP layer maps
+it to ``503`` + ``Retry-After``) — heavy traffic degrades into explicit
+retry pressure on the client instead of unbounded queue growth in the
+server.
+
+Dispatch runs on ``dispatch_threads`` daemon threads.  The default of 1
+serializes compute — each query still parallelizes internally across the
+worker-process pool, and a single dispatcher keeps the (thread-oblivious)
+ambient tracer coherent; raise it only for workloads dominated by many
+small independent queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.obs.metrics import get_metrics
+
+__all__ = ["Backpressure", "QueryBroker"]
+
+
+class Backpressure(Exception):
+    """Submission rejected: the dispatch queue is full.
+
+    ``retry_after_s`` is the broker's estimate of when capacity frees up
+    (surfaced as the HTTP ``Retry-After`` header).
+    """
+
+    def __init__(self, retry_after_s: float, depth: int):
+        self.retry_after_s = float(retry_after_s)
+        self.depth = int(depth)
+        super().__init__(
+            f"dispatch queue full ({depth} queries in flight); "
+            f"retry in {retry_after_s:g}s"
+        )
+
+
+class QueryBroker:
+    """Coalescing, bounded-queue dispatcher for query computations."""
+
+    def __init__(
+        self,
+        *,
+        dispatch_threads: int = 1,
+        max_queue: int = 32,
+        retry_after_s: float = 1.0,
+    ) -> None:
+        if dispatch_threads < 1:
+            raise ValueError(f"dispatch_threads must be >= 1, got {dispatch_threads}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = int(max_queue)
+        self.retry_after_s = float(retry_after_s)
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(dispatch_threads), thread_name_prefix="repro-serve"
+        )
+        self._lock = threading.Lock()
+        self._inflight: dict[str, Future] = {}
+        self._depth = 0  # admitted and not yet finished (queued + running)
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def submit(self, key: str, fn) -> tuple[Future, bool]:
+        """Admit (or join) the computation for ``key``.
+
+        Returns ``(future, coalesced)``: ``coalesced`` is True when an
+        identical query was already in flight and this call joined it.
+        Raises :class:`Backpressure` instead of admitting beyond
+        ``max_queue``.
+
+        ``fn`` must perform its own result publication (e.g. write the
+        result cache) *before returning* — the in-flight key is retired
+        when ``fn`` finishes, so anything later would open a window where
+        a duplicate query neither coalesces nor hits the cache.
+        """
+        with self._lock:
+            existing = self._inflight.get(key)
+            if existing is not None:
+                get_metrics().counter("service.coalesced").inc()
+                return existing, True
+            if self._depth >= self.max_queue:
+                get_metrics().counter("service.rejected").inc()
+                raise Backpressure(self.retry_after_s, self._depth)
+            self._depth += 1
+            get_metrics().gauge("service.queue.depth").set(self._depth)
+            submitted = time.perf_counter()
+            future = self._executor.submit(self._run, key, fn, submitted)
+            self._inflight[key] = future
+            return future, False
+
+    def _run(self, key: str, fn, submitted: float):
+        get_metrics().histogram("service.queue.wait_ms").observe(
+            (time.perf_counter() - submitted) * 1e3
+        )
+        try:
+            return fn()
+        finally:
+            with self._lock:
+                self._inflight.pop(key, None)
+                self._depth -= 1
+                get_metrics().gauge("service.queue.depth").set(self._depth)
+
+    def shutdown(self) -> None:
+        """Drain queued work and stop the dispatch threads; idempotent."""
+        self._executor.shutdown(wait=True)

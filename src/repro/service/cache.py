@@ -1,0 +1,92 @@
+"""Result cache: finished accessibility maps keyed by query digest.
+
+The second tier of reuse (after the registry's per-scene artifacts):
+a query that already ran to completion is answered from memory with
+zero traversals.  Keys are full query digests
+(:meth:`repro.service.core.QuerySpec.digest`), which fold in the scene's
+*content* digest — so a cache entry can never serve a stale map for a
+re-registered-but-different scene.
+
+Eviction is LRU under two simultaneous bounds: ``max_entries`` and
+``max_bytes`` (per-entry sizes are supplied by the caller, who knows the
+payload layout).  Hit/miss/eviction counters and entry/byte gauges are
+exported through :mod:`repro.obs.metrics` under ``service.cache.*`` so
+``repro-bench compare`` and ``repro-obs diff`` track serving efficiency
+like any other run metric.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.obs.metrics import get_metrics
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded LRU cache of finished query payloads (thread-safe)."""
+
+    def __init__(self, max_entries: int = 256, max_bytes: int = 256 * 1024 * 1024):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = int(max_entries)
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[str, tuple[object, int]] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.Lock()
+
+    def get(self, key: str):
+        """The cached payload (refreshing LRU), or ``None`` on a miss."""
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is None:
+                get_metrics().counter("service.cache.misses").inc()
+                return None
+            self._entries.move_to_end(key)
+            get_metrics().counter("service.cache.hits").inc()
+            return hit[0]
+
+    def put(self, key: str, value, nbytes: int) -> None:
+        """Insert (or refresh) ``key``; evicts LRU entries to stay in bounds.
+
+        A payload larger than ``max_bytes`` is simply not cached — it
+        would evict everything else and then be evicted itself by the
+        next insert.
+        """
+        nbytes = int(nbytes)
+        if nbytes > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            while len(self._entries) > self.max_entries or self._bytes > self.max_bytes:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                get_metrics().counter("service.cache.evictions").inc()
+            metrics = get_metrics()
+            metrics.gauge("service.cache.entries").set(len(self._entries))
+            metrics.gauge("service.cache.bytes").set(self._bytes)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            metrics = get_metrics()
+            metrics.gauge("service.cache.entries").set(0)
+            metrics.gauge("service.cache.bytes").set(0)

@@ -1,0 +1,364 @@
+"""``repro-serve`` / ``repro-loadgen`` command-line entry points.
+
+Usage::
+
+    repro-serve --port 8077 --workers 4          # start the query service
+    repro-serve --table-dir /var/cache/repro-ica # warm-startable ICA tables
+    REPRO_HTTP_LOG=1 repro-serve                 # per-request access log
+
+    repro-loadgen --url http://127.0.0.1:8077 \\
+        --model head --resolution 32 --pivot 0 -30 5 \\
+        -n 64 -c 8 --distinct 4 --grid 16 16 --json loadgen.json
+
+The load generator replays ``-n`` queries from ``-c`` concurrent client
+threads, cycling through ``--distinct`` pivot variants — so identical
+requests land in flight together (exercising coalescing) and repeat
+after completion (exercising the result cache).  It reports throughput
+and latency percentiles, and ``--json`` writes a standard
+:mod:`repro.obs.report` run report, so serving performance is gated by
+``repro-bench compare`` and inspected by ``repro-obs diff`` exactly like
+bench runs.
+
+Exit codes: ``0`` success, ``1`` the load run saw failed requests,
+``2`` usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["main", "main_loadgen"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "loadgen":
+        return main_loadgen(argv[1:])
+    if argv and argv[0] == "serve":
+        argv = argv[1:]
+    return _main_serve(argv)
+
+
+# ---------------------------------------------------------------------------
+# repro-serve
+# ---------------------------------------------------------------------------
+
+
+def _main_serve(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve accessibility-map queries over JSON/HTTP "
+        "(scene registry + request coalescing + result cache).",
+        epilog="Use 'repro-loadgen' (or 'repro-serve loadgen') to load-test it.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8077, help="0 picks a free port")
+    parser.add_argument(
+        "--workers", default="1",
+        help="worker processes per query (int or 'auto'; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--max-scenes", type=int, default=8,
+        help="LRU bound on resident scenes (default 8)",
+    )
+    parser.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="result-cache entry bound (default 256)",
+    )
+    parser.add_argument(
+        "--cache-mb", type=float, default=256.0,
+        help="result-cache byte bound in MiB (default 256)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=32,
+        help="dispatch-queue bound; beyond it requests get 503 (default 32)",
+    )
+    parser.add_argument(
+        "--dispatch-threads", type=int, default=1,
+        help="concurrent query computations (default 1: queries serialize, "
+        "each parallelizing internally over --workers processes)",
+    )
+    parser.add_argument(
+        "--table-dir", default=None,
+        help="directory for persisted ICA tables (warm-start across restarts)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.engine.pool import resolve_workers
+    from repro.service.core import Service
+    from repro.service.http import serve
+
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    service = Service(
+        workers=workers,
+        max_scenes=args.max_scenes,
+        table_dir=args.table_dir,
+        cache_entries=args.cache_entries,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        max_queue=args.max_queue,
+        dispatch_threads=args.dispatch_threads,
+    )
+    server = serve(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"repro-serve listening on http://{host}:{port} (workers={workers})")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro-loadgen
+# ---------------------------------------------------------------------------
+
+
+def _http_json(url: str, body: dict | None = None, timeout: float = 300.0):
+    """One JSON request; returns ``(status, payload, headers)``."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    req = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read().decode("utf-8")), dict(resp.headers)
+    except urllib.error.HTTPError as exc:
+        try:
+            payload = json.loads(exc.read().decode("utf-8"))
+        except Exception:
+            payload = {"error": str(exc)}
+        return exc.code, payload, dict(exc.headers or {})
+
+
+def _percentile(sorted_ms: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (ms)."""
+    if not sorted_ms:
+        return 0.0
+    rank = max(1, int(-(-q * len(sorted_ms) // 1)))  # ceil(q * n)
+    return sorted_ms[min(rank, len(sorted_ms)) - 1]
+
+
+def _counter_value(metrics: dict, name: str) -> float:
+    m = metrics.get(name, {})
+    return float(m.get("value", 0) or 0) if m.get("type") == "counter" else 0.0
+
+
+def main_loadgen(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-loadgen",
+        description="Replay concurrent accessibility queries against a "
+        "repro-serve instance and report throughput/latency percentiles.",
+    )
+    parser.add_argument("--url", required=True, help="base URL of a running repro-serve")
+    scene = parser.add_argument_group("scene (register one, or reuse a digest)")
+    scene.add_argument("--scene", default=None, help="existing scene digest to query")
+    scene.add_argument(
+        "--model", default=None,
+        help="register a built-in model (head/candle_holder/turbine/teapot)",
+    )
+    scene.add_argument("--resolution", type=int, default=32)
+    scene.add_argument(
+        "--pivot", type=float, nargs=3, default=None, metavar=("X", "Y", "Z"),
+        help="base pivot; required to vary pivots across --distinct variants",
+    )
+    scene.add_argument("--tool", default="paper", help="'paper', 'ball' (default paper)")
+    load = parser.add_argument_group("load shape")
+    load.add_argument("-n", "--requests", type=int, default=64)
+    load.add_argument("-c", "--concurrency", type=int, default=8)
+    load.add_argument(
+        "--distinct", type=int, default=4,
+        help="distinct query variants cycled through (duplicates coalesce/cache)",
+    )
+    load.add_argument("--grid", type=int, nargs=2, default=(16, 16), metavar=("M", "N"))
+    load.add_argument("--method", default="AICA")
+    load.add_argument("--workers", type=int, default=0, help="per-query workers (0 = server default)")
+    load.add_argument("--retries", type=int, default=8, help="max retries per request on 503")
+    parser.add_argument("--json", metavar="PATH", default=None, help="write a run report")
+    args = parser.parse_args(argv)
+
+    base = args.url.rstrip("/")
+    if args.requests < 1 or args.concurrency < 1 or args.distinct < 1:
+        print("requests, concurrency and distinct must be >= 1", file=sys.stderr)
+        return 2
+
+    # -- resolve the scene ------------------------------------------------
+    pivot = list(args.pivot) if args.pivot is not None else None
+    if args.scene is not None:
+        digest = args.scene
+    elif args.model is not None:
+        if pivot is None:
+            print("--model registration needs --pivot", file=sys.stderr)
+            return 2
+        status, payload, _ = _http_json(
+            f"{base}/v1/scenes",
+            {
+                "model": args.model,
+                "resolution": args.resolution,
+                "tool": args.tool,
+                "pivot": pivot,
+            },
+        )
+        if status != 200:
+            print(f"scene registration failed ({status}): {payload}", file=sys.stderr)
+            return 2
+        digest = payload["scene"]
+        print(f"registered scene {digest[:16]}… ({payload['nodes']} nodes)")
+    else:
+        print("give --scene DIGEST or --model NAME", file=sys.stderr)
+        return 2
+
+    # -- build the distinct variants --------------------------------------
+    if args.distinct > 1 and pivot is None:
+        print("--distinct > 1 needs --pivot to derive variants", file=sys.stderr)
+        return 2
+    variants = []
+    for i in range(args.distinct):
+        spec = {
+            "scene": digest,
+            "grid": list(args.grid),
+            "method": args.method,
+            "include_map": False,
+        }
+        if args.workers:
+            spec["workers"] = args.workers
+        if i > 0:
+            # Nudge the pivot along z: same scene, a genuinely distinct query.
+            spec["pivot"] = [pivot[0], pivot[1], pivot[2] + 0.25 * i]
+        variants.append(spec)
+
+    # -- fire -------------------------------------------------------------
+    status0, metrics0, _ = _http_json(f"{base}/v1/metrics")
+    if status0 != 200:
+        print(f"cannot read metrics ({status0})", file=sys.stderr)
+        return 2
+
+    latencies_ms: list[float] = []
+    ok = 0
+    errors = 0
+    retries_used = 0
+    lock = threading.Lock()
+
+    def one(i: int) -> None:
+        nonlocal ok, errors, retries_used
+        body = variants[i % len(variants)]
+        t0 = time.perf_counter()
+        for attempt in range(args.retries + 1):
+            status, payload, headers = _http_json(f"{base}/v1/cd", dict(body))
+            if status == 503 and attempt < args.retries:
+                with lock:
+                    retries_used += 1
+                time.sleep(float(payload.get("retry_after_s", 0.2)))
+                continue
+            break
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        with lock:
+            if status == 200:
+                ok += 1
+                latencies_ms.append(elapsed_ms)
+            else:
+                errors += 1
+
+    wall0 = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
+        list(pool.map(one, range(args.requests)))
+    wall_s = time.perf_counter() - wall0
+
+    _, metrics1, _ = _http_json(f"{base}/v1/metrics")
+    hits = _counter_value(metrics1, "service.cache.hits") - _counter_value(
+        metrics0, "service.cache.hits"
+    )
+    misses = _counter_value(metrics1, "service.cache.misses") - _counter_value(
+        metrics0, "service.cache.misses"
+    )
+    coalesced = _counter_value(metrics1, "service.coalesced") - _counter_value(
+        metrics0, "service.coalesced"
+    )
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+
+    latencies_ms.sort()
+    p50 = _percentile(latencies_ms, 0.50)
+    p95 = _percentile(latencies_ms, 0.95)
+    p99 = _percentile(latencies_ms, 0.99)
+    mean_ms = sum(latencies_ms) / len(latencies_ms) if latencies_ms else 0.0
+    rps = ok / wall_s if wall_s > 0 else 0.0
+
+    print(
+        f"{ok}/{args.requests} ok ({errors} failed, {retries_used} retries) "
+        f"in {wall_s:.2f}s = {rps:.1f} req/s"
+    )
+    print(f"latency ms: p50 {p50:.1f}  p95 {p95:.1f}  p99 {p99:.1f}  mean {mean_ms:.1f}")
+    print(f"cache hit rate {hit_rate:.0%} ({hits:g} hits), {coalesced:g} coalesced")
+
+    if args.json is not None:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.report import build_report
+
+        reg = MetricsRegistry()
+        reg.counter("loadgen.requests").inc(args.requests)
+        reg.counter("loadgen.ok").inc(ok)
+        reg.counter("loadgen.errors").inc(errors)
+        reg.counter("loadgen.retries").inc(retries_used)
+        reg.counter("loadgen.wall_s").inc(wall_s)
+        reg.counter("loadgen.p50_ms").inc(p50)
+        reg.counter("loadgen.p95_ms").inc(p95)
+        reg.counter("loadgen.p99_ms").inc(p99)
+        reg.counter("loadgen.mean_ms").inc(mean_ms)
+        reg.counter("loadgen.cache_hits").inc(max(0.0, hits))
+        reg.counter("loadgen.coalesced").inc(max(0.0, coalesced))
+        reg.gauge("loadgen.rps").set(rps)
+        reg.gauge("loadgen.cache_hit_rate").set(hit_rate)
+        reg.histogram("loadgen.latency_ms").observe_many(latencies_ms or [0.0])
+        report = build_report(
+            "loadgen",
+            metrics=reg,
+            meta={
+                "url": base,
+                "scene": digest,
+                "requests": args.requests,
+                "concurrency": args.concurrency,
+                "distinct": args.distinct,
+                "grid": list(args.grid),
+                "method": args.method,
+                "workers": args.workers,
+            },
+            results=[{
+                "exp_id": "loadgen",
+                "title": "Serving throughput and latency",
+                "headers": [
+                    "requests", "ok", "errors", "rps",
+                    "p50_ms", "p95_ms", "p99_ms", "cache_hit_rate",
+                ],
+                "rows": [[
+                    args.requests, ok, errors, round(rps, 2),
+                    round(p50, 2), round(p95, 2), round(p99, 2), round(hit_rate, 4),
+                ]],
+            }],
+        )
+        try:
+            report.save(args.json)
+        except OSError as exc:
+            print(f"cannot write report: {exc}", file=sys.stderr)
+            return 2
+        print(f"[report written to {args.json}]")
+
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,215 @@
+"""JSON-over-HTTP front end for the query service (stdlib only).
+
+Endpoints (all JSON bodies/responses):
+
+* ``POST /v1/scenes`` — register a scene.  The request names a target
+  (an uploaded ``.npz`` octree as base64, a server-side ``.npz`` path,
+  or a built-in benchmark model to voxelize), a tool, and a pivot;
+  the response carries the scene's content digest, the handle every
+  subsequent query uses.
+* ``POST /v1/cd`` — answer one accessibility query (the body is a
+  :class:`repro.service.core.QuerySpec` in JSON form).  Identical
+  concurrent queries coalesce; finished ones are served from the result
+  cache; a full dispatch queue answers ``503`` with a ``Retry-After``
+  header instead of queueing unboundedly.
+* ``GET /v1/healthz`` — liveness + a small status snapshot.
+* ``GET /v1/metrics`` — the ambient :mod:`repro.obs.metrics` registry as
+  JSON (cache hit/miss/eviction counters, queue depth, request
+  latencies, CD counters — everything ``repro-obs diff`` understands).
+
+The server is a :class:`http.server.ThreadingHTTPServer`: cheap,
+dependency-free, and sufficient because request threads only parse JSON
+and wait — actual compute is serialized by the service's broker and
+parallelized by its worker-process pool.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import os
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from repro.cd.scene import Scene
+from repro.obs.metrics import get_metrics
+from repro.service.batching import Backpressure
+from repro.service.core import QuerySpec, Service
+from repro.service.registry import UnknownSceneError
+from repro.tool.tool import Tool, ball_end_mill, paper_tool
+
+__all__ = ["scene_from_request", "tool_from_spec", "ServiceHTTPServer", "serve"]
+
+_MODELS = ("head", "candle_holder", "turbine", "teapot")
+
+
+def tool_from_spec(spec) -> Tool:
+    """A tool from its JSON form: ``"paper"``, ``"ball"``, or
+    ``{"segments": [[radius, height], ...]}`` (stacked tip-to-holder)."""
+    if spec is None or spec == "paper":
+        return paper_tool()
+    if spec == "ball":
+        return ball_end_mill()
+    if isinstance(spec, dict) and "segments" in spec:
+        return Tool.from_segments(
+            [(float(r), float(h)) for r, h in spec["segments"]],
+            name=str(spec.get("name", "custom")),
+        )
+    raise ValueError(
+        f"tool must be 'paper', 'ball', or {{'segments': [[r, h], ...]}}, got {spec!r}"
+    )
+
+
+def scene_from_request(body: dict) -> Scene:
+    """Build the scene a ``POST /v1/scenes`` body describes.
+
+    Exactly one source must be given: ``npz_b64`` (an uploaded
+    :func:`repro.octree.io.save_octree` file), ``path`` (a server-side
+    ``.npz``), or ``model`` (a built-in benchmark model voxelized at
+    ``resolution`` with the standard top-level expansion).
+    """
+    from repro.octree.io import load_octree
+
+    sources = [k for k in ("npz_b64", "path", "model") if body.get(k) is not None]
+    if len(sources) != 1:
+        raise ValueError(
+            f"give exactly one of npz_b64 / path / model, got {sources or 'none'}"
+        )
+    if "pivot" not in body:
+        raise ValueError("scene registration needs a pivot [x, y, z]")
+    pivot = np.asarray(body["pivot"], dtype=np.float64)
+    tool = tool_from_spec(body.get("tool"))
+
+    if body.get("npz_b64") is not None:
+        raw = base64.b64decode(body["npz_b64"])
+        tree = load_octree(io.BytesIO(raw))
+    elif body.get("path") is not None:
+        tree = load_octree(body["path"])
+    else:
+        model = str(body["model"])
+        if model not in _MODELS:
+            raise ValueError(f"unknown model {model!r}; choose from {_MODELS}")
+        import repro.solids.models as models
+        from repro.octree.build import build_from_sdf, expand_top
+
+        bench = getattr(models, f"{model}_model")()
+        resolution = int(body.get("resolution", 64))
+        tree = build_from_sdf(bench.sdf, bench.domain, resolution)
+        expand = int(body.get("expand_top", 5))
+        if expand > 0:
+            tree = expand_top(tree, expand)
+    return Scene(tree, tool, pivot)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: "ServiceHTTPServer"
+
+    # -- plumbing ---------------------------------------------------------
+
+    def log_message(self, fmt, *args) -> None:  # noqa: A003 - stdlib hook
+        if os.environ.get("REPRO_HTTP_LOG", "").strip() == "1":
+            super().log_message(fmt, *args)
+
+    def _send_json(self, code: int, obj, *, headers: dict | None = None) -> None:
+        data = json.dumps(obj).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length <= 0:
+            raise ValueError("request needs a JSON body")
+        body = json.loads(self.rfile.read(length).decode("utf-8"))
+        if not isinstance(body, dict):
+            raise ValueError("request body must be a JSON object")
+        return body
+
+    # -- routes -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        if self.path == "/v1/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "uptime_s": service.uptime_s,
+                "scenes": len(service.registry),
+                "cache_entries": len(service.cache),
+                "queue_depth": service.broker.depth,
+            })
+        elif self.path == "/v1/metrics":
+            self._send_json(200, get_metrics().as_dict())
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        service = self.server.service
+        try:
+            body = self._read_json()
+        except (ValueError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+
+        if self.path == "/v1/scenes":
+            try:
+                scene = scene_from_request(body)
+            except (ValueError, OSError) as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            digest = service.register_scene(scene)
+            self._send_json(200, {
+                "scene": digest,
+                "depth": scene.tree.depth,
+                "nodes": int(sum(lev.n for lev in scene.tree.levels)),
+                "pivot": scene.pivot.tolist(),
+                "tool": scene.tool.name,
+            })
+        elif self.path == "/v1/cd":
+            include_map = bool(body.pop("include_map", True))
+            try:
+                spec = QuerySpec.from_dict(body)
+            except ValueError as exc:
+                self._send_json(400, {"error": str(exc)})
+                return
+            try:
+                result = service.query(spec)
+            except UnknownSceneError:
+                self._send_json(404, {"error": f"unknown scene {spec.scene!r}"})
+                return
+            except Backpressure as exc:
+                self._send_json(
+                    503,
+                    {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                    headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
+                )
+                return
+            self._send_json(200, result.to_dict(include_map=include_map))
+        else:
+            self._send_json(404, {"error": f"no route {self.path!r}"})
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`Service`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: Service):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+def serve(service: Service, host: str = "127.0.0.1", port: int = 8077) -> ServiceHTTPServer:
+    """Bind (``port`` 0 picks a free one) and return the server unstarted.
+
+    Callers drive it: ``serve_forever()`` to block, or run it on a
+    thread and ``shutdown()`` when done (what the tests and the in-CI
+    smoke job do).
+    """
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,216 @@
+"""Scene registry: content-addressed scenes with shared setup artifacts.
+
+A CAM service voxelizes a model once and answers many accessibility
+queries against it.  The registry is where that "once" lives: a
+:class:`~repro.cd.scene.Scene` is registered under its
+:meth:`~repro.cd.scene.Scene.content_digest` and every expensive
+per-scene artifact — the stage-1 memoized ICA table and the
+shared-memory arena the worker pool reads — is built once and reused by
+all subsequent queries.
+
+Residency is bounded: an LRU policy caps the number of registered
+scenes, and evicting a scene destroys its shared-memory arenas (the
+only artifact that outlives the process's heap if leaked).  Tables can
+additionally warm-start from disk (``table_dir``) via
+:mod:`repro.ica.io`, so even the first query against a re-registered
+scene skips the stage-1 recompute.
+
+All methods are thread-safe; the HTTP front end calls them from
+concurrent request handlers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from repro.cd.scene import Scene
+from repro.ica.io import load_ica_table, save_ica_table
+from repro.ica.table import IcaTable, build_ica_table
+from repro.obs.metrics import get_metrics
+
+__all__ = ["UnknownSceneError", "SceneRegistry"]
+
+
+class UnknownSceneError(KeyError):
+    """Lookup of a digest that is not (or no longer) registered."""
+
+
+class _Entry:
+    """One resident scene plus its per-(S) derived artifacts."""
+
+    __slots__ = ("scene", "tables", "arenas")
+
+    def __init__(self, scene: Scene) -> None:
+        self.scene = scene
+        self.tables: dict[int, IcaTable] = {}  # effective S -> table
+        # arena key: effective S of the embedded table, or None (tree only)
+        self.arenas: dict[int | None, object] = {}
+
+    def destroy_arenas(self) -> None:
+        for arena in self.arenas.values():
+            arena.destroy()
+        self.arenas.clear()
+
+
+class SceneRegistry:
+    """Content-addressed LRU registry of scenes and their setup artifacts."""
+
+    def __init__(self, max_scenes: int = 8, table_dir=None) -> None:
+        if max_scenes < 1:
+            raise ValueError(f"max_scenes must be >= 1, got {max_scenes}")
+        self.max_scenes = int(max_scenes)
+        self.table_dir = Path(table_dir) if table_dir is not None else None
+        self._entries: OrderedDict[str, _Entry] = OrderedDict()
+        self._lock = threading.RLock()
+
+    # -- registration -----------------------------------------------------
+
+    def register(self, scene: Scene) -> str:
+        """Register ``scene`` (idempotent); returns its content digest.
+
+        Re-registering an already-resident digest just refreshes its LRU
+        position — the existing entry and its artifacts are kept.
+        """
+        digest = scene.content_digest()
+        with self._lock:
+            if digest in self._entries:
+                self._entries.move_to_end(digest)
+                return digest
+            self._entries[digest] = _Entry(scene)
+            while len(self._entries) > self.max_scenes:
+                _, stale = self._entries.popitem(last=False)
+                stale.destroy_arenas()
+                get_metrics().counter("service.registry.evictions").inc()
+            get_metrics().gauge("service.registry.scenes").set(len(self._entries))
+        return digest
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, digest: str) -> Scene:
+        """The registered scene (refreshes LRU); :class:`UnknownSceneError`
+        when the digest is unknown or has been evicted."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                raise UnknownSceneError(digest)
+            self._entries.move_to_end(digest)
+            return entry.scene
+
+    def digests(self) -> list[str]:
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, digest: str) -> bool:
+        with self._lock:
+            return digest in self._entries
+
+    # -- derived artifacts ------------------------------------------------
+
+    def _effective_levels(self, scene: Scene, memo_levels: int) -> int:
+        return int(min(memo_levels, scene.tree.depth + 1))
+
+    def _table_path(self, digest: str, levels: int) -> Path:
+        return self.table_dir / f"ica-{digest[:32]}-S{levels}.npz"
+
+    def get_table(self, digest: str, memo_levels: int) -> IcaTable:
+        """The memoized ICA table for (scene, S) — built at most once.
+
+        Resolution order: in-memory cache, then ``table_dir`` warm start
+        (validated against the scene's pivot before trust), then a fresh
+        :func:`~repro.ica.table.build_ica_table` (persisted to
+        ``table_dir`` when one is configured).
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                raise UnknownSceneError(digest)
+            scene = entry.scene
+            levels = self._effective_levels(scene, memo_levels)
+            table = entry.tables.get(levels)
+            if table is not None:
+                return table
+
+            if self.table_dir is not None:
+                path = self._table_path(digest, levels)
+                if path.exists():
+                    try:
+                        table = load_ica_table(path)
+                    except ValueError:
+                        table = None
+                    if table is not None and (
+                        not np.array_equal(table.pivot, scene.pivot)
+                        or table.levels != levels
+                    ):
+                        table = None  # stale or foreign file: rebuild
+                    if table is not None:
+                        entry.tables[levels] = table
+                        get_metrics().counter(
+                            "service.registry.table_warm_starts"
+                        ).inc()
+                        return table
+
+            table = build_ica_table(
+                scene.tree, scene.tool, scene.pivot, levels=levels
+            )
+            entry.tables[levels] = table
+            get_metrics().counter("service.registry.table_builds").inc()
+            if self.table_dir is not None:
+                self.table_dir.mkdir(parents=True, exist_ok=True)
+                save_ica_table(table, self._table_path(digest, levels))
+            return table
+
+    def get_arena(self, digest: str, memo_levels: int | None = None):
+        """A shared-memory arena for the scene's tree — created at most once.
+
+        With ``memo_levels`` the arena also embeds the (cached) ICA table
+        for that S, ready for ``run_cd(..., shared=...)`` at any worker
+        count; ``None`` gives the tree-only arena path runs use.  The
+        registry owns the arena: it is destroyed on eviction or
+        :meth:`close`, never by the run that borrows it.
+        """
+        from repro.engine.pool import SharedScene
+
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                raise UnknownSceneError(digest)
+            key = (
+                None
+                if memo_levels is None
+                else self._effective_levels(entry.scene, memo_levels)
+            )
+            arena = entry.arenas.get(key)
+            if arena is None:
+                table = None if key is None else self.get_table(digest, key)
+                arena = SharedScene.create(entry.scene.tree, table)
+                entry.arenas[key] = arena
+                get_metrics().counter("service.registry.arena_builds").inc()
+            return arena
+
+    # -- teardown ---------------------------------------------------------
+
+    def evict(self, digest: str) -> bool:
+        """Drop one scene (destroying its arenas); False when absent."""
+        with self._lock:
+            entry = self._entries.pop(digest, None)
+            if entry is None:
+                return False
+            entry.destroy_arenas()
+            get_metrics().counter("service.registry.evictions").inc()
+            get_metrics().gauge("service.registry.scenes").set(len(self._entries))
+            return True
+
+    def close(self) -> None:
+        """Destroy every arena and forget every scene; idempotent."""
+        with self._lock:
+            for entry in self._entries.values():
+                entry.destroy_arenas()
+            self._entries.clear()

@@ -163,3 +163,67 @@ class TestOctreeIO:
         np_.savez(p, **data)
         with pytest.raises(ValueError):
             load_octree(p)
+
+    def test_missing_array_is_clear_value_error(self, head_tree_32, tmp_path):
+        # A truncated/corrupt file must raise ValueError naming the
+        # missing array, not leak a bare KeyError from the archive.
+        p = tmp_path / "tree.npz"
+        save_octree(head_tree_32, p)
+        data = dict(np.load(p))
+        del data["codes_2"]
+        np.savez(p, **data)
+        with pytest.raises(ValueError, match=r"codes_2"):
+            load_octree(p)
+
+    def test_empty_archive_names_version_key(self, tmp_path):
+        p = tmp_path / "empty.npz"
+        np.savez(p, unrelated=np.zeros(3))
+        with pytest.raises(ValueError, match=r"format_version"):
+            load_octree(p)
+
+
+class TestMergeModes:
+    def test_single_map_identity_both_modes(self):
+        m = _map([".#", ".."])
+        for mode in ("intersection", "union"):
+            np.testing.assert_array_equal(merge_accessible([m], mode), m)
+
+    def test_many_maps_order_independent(self, rng):
+        maps = [rng.random((5, 7)) > 0.4 for _ in range(4)]
+        for mode in ("intersection", "union"):
+            fwd = merge_accessible(maps, mode)
+            rev = merge_accessible(maps[::-1], mode)
+            np.testing.assert_array_equal(fwd, rev)
+
+    def test_intersection_subset_of_union(self, rng):
+        maps = [rng.random((6, 6)) > 0.5 for _ in range(3)]
+        inter = merge_accessible(maps, "intersection")
+        union = merge_accessible(maps, "union")
+        assert not (inter & ~union).any()
+
+    def test_inputs_not_mutated(self):
+        a = _map(["..", ".."])
+        b = _map(["##", "##"])
+        a_copy = a.copy()
+        merge_accessible([a, b], "intersection")
+        np.testing.assert_array_equal(a, a_copy)
+
+    def test_default_mode_is_intersection(self):
+        a = _map(["..", ".#"])
+        b = _map([".#", ".."])
+        np.testing.assert_array_equal(merge_accessible([a, b]), a & b)
+
+
+class TestBestOrientationTieBreak:
+    def test_tie_breaks_toward_smallest_phi_gamma(self):
+        # Two isolated accessible cells with identical clearance depth:
+        # the winner must be the smallest (phi, gamma) index.
+        acc = _map(["#####", "#.###", "###.#", "#####"])
+        assert best_orientation(acc) == (1, 1)
+
+    def test_tie_breaks_on_gamma_within_a_row(self):
+        acc = _map(["#####", "#.#.#", "#####"])
+        assert best_orientation(acc) == (1, 1)
+
+    def test_uniform_map_gives_origin(self):
+        assert best_orientation(np.ones((3, 4), bool)) == (0, 0)

@@ -1,0 +1,91 @@
+"""ICA-table serialization (repro.ica.io) and precomputed-table runs."""
+
+import numpy as np
+import pytest
+
+from repro.cd.methods import method_by_name
+from repro.cd.traversal import TraversalConfig, run_cd
+from repro.geometry.orientation import OrientationGrid
+from repro.ica.io import load_ica_table, save_ica_table
+from repro.ica.table import build_ica_table
+
+
+@pytest.fixture(scope="module")
+def table(sphere_scene):
+    return build_ica_table(
+        sphere_scene.tree, sphere_scene.tool, sphere_scene.pivot, levels=8
+    )
+
+
+class TestIcaTableIO:
+    def test_roundtrip(self, table, tmp_path):
+        p = tmp_path / "table.npz"
+        save_ica_table(table, p)
+        loaded = load_ica_table(p)
+        assert loaded.levels == table.levels
+        assert loaded.n_entries == table.n_entries
+        np.testing.assert_array_equal(loaded.pivot, table.pivot)
+        assert len(loaded.cos1) == len(table.cos1)
+        for a, b in zip(loaded.cos1, table.cos1):
+            np.testing.assert_array_equal(a, b)
+        for a, b in zip(loaded.cos2, table.cos2):
+            np.testing.assert_array_equal(a, b)
+
+    def test_version_check(self, table, tmp_path):
+        p = tmp_path / "table.npz"
+        save_ica_table(table, p)
+        data = dict(np.load(p))
+        data["format_version"] = np.asarray(99)
+        np.savez(p, **data)
+        with pytest.raises(ValueError, match="version"):
+            load_ica_table(p)
+
+    def test_missing_array_is_clear_value_error(self, table, tmp_path):
+        p = tmp_path / "table.npz"
+        save_ica_table(table, p)
+        data = dict(np.load(p))
+        del data["cos2_1"]
+        np.savez(p, **data)
+        with pytest.raises(ValueError, match=r"cos2_1"):
+            load_ica_table(p)
+
+    def test_loaded_table_reproduces_cd_results(self, sphere_scene, table, tmp_path):
+        p = tmp_path / "table.npz"
+        save_ica_table(table, p)
+        loaded = load_ica_table(p)
+        grid = OrientationGrid(8, 8)
+        fresh = run_cd(sphere_scene, grid, method_by_name("AICA"))
+        warm = run_cd(sphere_scene, grid, method_by_name("AICA"), table=loaded)
+        np.testing.assert_array_equal(fresh.collides, warm.collides)
+        # The memo/fly split must match too: the loaded table covers the
+        # same S levels the fresh build would.
+        np.testing.assert_array_equal(
+            warm.counters.ica_memo_checks, fresh.counters.ica_memo_checks
+        )
+        np.testing.assert_array_equal(
+            warm.counters.ica_fly_checks, fresh.counters.ica_fly_checks
+        )
+
+
+class TestTableValidation:
+    def test_wrong_pivot_rejected(self, sphere_scene, table):
+        moved = sphere_scene.with_pivot((0.0, 0.0, 30.0))
+        with pytest.raises(ValueError, match="pivot"):
+            run_cd(moved, OrientationGrid(4, 4), method_by_name("AICA"), table=table)
+
+    def test_wrong_levels_rejected(self, sphere_scene, table):
+        config = TraversalConfig(memo_levels=2)
+        with pytest.raises(ValueError, match="S="):
+            run_cd(
+                sphere_scene, OrientationGrid(4, 4), method_by_name("AICA"),
+                config=config, table=table,
+            )
+
+    def test_table_ignored_by_non_table_methods(self, sphere_scene, table):
+        # PBox has needs_table=False: a supplied table (even a wrong one)
+        # is irrelevant and must not be validated or used.
+        moved = sphere_scene.with_pivot((0.0, 0.0, 30.0))
+        grid = OrientationGrid(4, 4)
+        a = run_cd(moved, grid, method_by_name("PBox"))
+        b = run_cd(moved, grid, method_by_name("PBox"), table=table)
+        np.testing.assert_array_equal(a.collides, b.collides)

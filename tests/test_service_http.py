@@ -1,0 +1,204 @@
+"""JSON/HTTP front end and the repro-loadgen report pipeline.
+
+A real :class:`ServiceHTTPServer` runs on a loopback port (0 = ephemeral)
+for the whole module; tests talk to it with urllib only — the same
+stdlib surface external clients use.
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.cd.methods import method_by_name
+from repro.cd.traversal import run_cd
+from repro.geometry.orientation import OrientationGrid
+from repro.octree.io import save_octree
+from repro.service import Service, serve
+from repro.service.http import scene_from_request, tool_from_spec
+
+
+@pytest.fixture(scope="module")
+def server(sphere_scene):
+    svc = Service(workers=1, max_queue=8)
+    digest = svc.register_scene(sphere_scene)
+    httpd = serve(svc, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{httpd.server_address[1]}"
+    yield base, digest
+    httpd.shutdown()
+    httpd.server_close()
+    svc.close()
+
+
+def _post(url: str, body: dict):
+    req = urllib.request.Request(
+        url, data=json.dumps(body).encode(), headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=60) as resp:
+        return resp.status, json.loads(resp.read())
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        base, _ = server
+        status, body = _get(f"{base}/v1/healthz")
+        assert status == 200 and body["status"] == "ok"
+        assert body["scenes"] >= 1
+
+    def test_metrics(self, server):
+        base, _ = server
+        status, body = _get(f"{base}/v1/metrics")
+        assert status == 200
+        assert body["service.registry.scenes"]["type"] == "gauge"
+
+    def test_unknown_route(self, server):
+        base, _ = server
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            _get(f"{base}/v1/nope")
+        assert exc.value.code == 404
+
+    def test_register_roundtrip_digest(self, server, sphere_scene):
+        base, digest = server
+        buf = io.BytesIO()
+        save_octree(sphere_scene.tree, buf)
+        status, body = _post(f"{base}/v1/scenes", {
+            "npz_b64": base64.b64encode(buf.getvalue()).decode(),
+            "tool": "paper",
+            "pivot": sphere_scene.pivot.tolist(),
+        })
+        assert status == 200
+        # Content addressing: the uploaded copy is the registered scene.
+        assert body["scene"] == digest
+        assert body["depth"] == sphere_scene.tree.depth
+
+    def test_register_validation(self, server):
+        base, _ = server
+        status, body = _post(f"{base}/v1/scenes", {"pivot": [0, 0, 1]})
+        assert status == 400 and "npz_b64" in body["error"]
+        status, body = _post(f"{base}/v1/scenes", {"model": "head"})
+        assert status == 400 and "pivot" in body["error"]
+        status, body = _post(
+            f"{base}/v1/scenes",
+            {"model": "not_a_model", "pivot": [0, 0, 1]},
+        )
+        assert status == 400 and "unknown model" in body["error"]
+
+    def test_query_served_map_matches_direct(self, server, sphere_scene):
+        base, digest = server
+        status, body = _post(f"{base}/v1/cd", {
+            "scene": digest, "grid": [10, 10], "method": "AICA",
+        })
+        assert status == 200
+        direct = run_cd(sphere_scene, OrientationGrid(10, 10), method_by_name("AICA"))
+        assert np.array_equal(
+            np.asarray(body["map"], dtype=bool), direct.accessibility_map
+        )
+        assert body["n_accessible"] == direct.n_accessible
+        # Same query again: a cache hit, same payload.
+        status, again = _post(f"{base}/v1/cd", {
+            "scene": digest, "grid": [10, 10], "method": "AICA",
+        })
+        assert status == 200 and again["cached"] is True
+        assert again["map"] == body["map"]
+
+    def test_query_include_map_false(self, server):
+        base, digest = server
+        status, body = _post(f"{base}/v1/cd", {
+            "scene": digest, "grid": [10, 10], "method": "AICA",
+            "include_map": False,
+        })
+        assert status == 200 and "map" not in body
+        assert "n_accessible" in body
+
+    def test_query_unknown_scene_404(self, server):
+        base, _ = server
+        status, body = _post(f"{base}/v1/cd", {"scene": "f" * 64, "grid": [4, 4]})
+        assert status == 404 and "unknown scene" in body["error"]
+
+    def test_query_bad_spec_400(self, server):
+        base, digest = server
+        status, body = _post(f"{base}/v1/cd", {"scene": digest, "gird": [4, 4]})
+        assert status == 400 and "unknown query field" in body["error"]
+        status, body = _post(f"{base}/v1/cd", {"scene": digest, "method": "NOPE"})
+        assert status == 400 and "unknown method" in body["error"]
+
+    def test_non_json_body_400(self, server):
+        base, _ = server
+        req = urllib.request.Request(
+            f"{base}/v1/cd", data=b"not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=60)
+        assert exc.value.code == 400
+
+
+class TestSceneParsing:
+    def test_tool_specs(self):
+        assert tool_from_spec(None).name == tool_from_spec("paper").name
+        assert tool_from_spec("ball").name.startswith("endmill")
+        custom = tool_from_spec({"segments": [[1.0, 5.0], [2.0, 10.0]], "name": "t"})
+        assert custom.n_cylinders == 2
+        with pytest.raises(ValueError, match="tool"):
+            tool_from_spec("chainsaw")
+
+    def test_exactly_one_source(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            scene_from_request({"pivot": [0, 0, 1]})
+        with pytest.raises(ValueError, match="exactly one"):
+            scene_from_request({
+                "model": "head", "path": "x.npz", "pivot": [0, 0, 1],
+            })
+
+    def test_model_source_builds_scene(self):
+        scene = scene_from_request({
+            "model": "head", "resolution": 16, "pivot": [0, -30, 5],
+        })
+        assert scene.tree.depth == 4
+        assert scene.pivot.tolist() == [0.0, -30.0, 5.0]
+
+
+class TestLoadgenReport:
+    def test_loadgen_emits_gateable_run_report(self, server, tmp_path):
+        from repro.obs.report import compare, load_report
+        from repro.service.cli import main_loadgen
+
+        base, digest = server
+        out = tmp_path / "loadgen.json"
+        code = main_loadgen([
+            "--url", base, "--scene", digest, "--pivot", "0", "0", "21",
+            "-n", "12", "-c", "4", "--distinct", "2",
+            "--grid", "6", "6", "--json", str(out),
+        ])
+        assert code == 0
+
+        report = load_report(out)
+        assert report.schema == "repro.obs.report/v1"
+        assert report.label == "loadgen"
+        assert report.metrics["loadgen.ok"]["value"] == 12
+        assert report.metrics["loadgen.p95_ms"]["type"] == "counter"
+        assert report.metrics["loadgen.rps"]["value"] > 0
+        assert 0.0 <= report.metrics["loadgen.cache_hit_rate"]["value"] <= 1.0
+        (row,) = report.results[0]["rows"]
+        assert row[0] == 12 and row[1] == 12
+
+        # The report must flow through the standard regression gate.
+        comparison = compare(report, report)
+        assert not comparison.regressions
