@@ -27,6 +27,7 @@ ablation_costs / ablation_warp / ablation_start_level: design choices
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,6 +71,7 @@ __all__ = [
     "ablation_mapping",
     "ablation_warp",
     "ablation_start_level",
+    "wallclock",
     "ALL_EXPERIMENTS",
 ]
 
@@ -726,6 +728,100 @@ def ablation_start_level(scale: BenchScale | None = None) -> ExperimentResult:
     )
 
 
+def wallclock(scale: BenchScale | None = None) -> ExperimentResult:
+    """Host wall-clock: frontier engine v1 vs v2 at the fig16 data point.
+
+    Unlike every other experiment (which reports *simulated-GPU*
+    milliseconds from the counter cost model), this one times the actual
+    Python host loop: each method runs serially under both engines on
+    the head model at the scale's default resolution and map, with a
+    prebuilt ICA table shared by both runs so only the traversal is
+    timed.  Each (method, engine) cell is the best of ``_WALLCLOCK_REPS``
+    repetitions — min, not mean, is the right statistic for wall-clock
+    gating since noise is strictly additive.
+
+    The experiment also *asserts* the engines' equivalence contract on
+    every method: byte-identical accessibility maps and per-thread
+    counters.  A committed baseline (``BENCH_wallclock.json``) is
+    compared in CI with ``repro-bench compare``: the ``*_s`` metrics
+    gate wall-clock regressions at a generous threshold, the ``.pairs``
+    counters gate counter drift exactly.
+    """
+    scale = scale or current_scale()
+    from repro.cd.traversal import run_cd
+    from repro.engine.counters import ThreadCounters
+    from repro.ica.table import build_ica_table
+    from repro.obs.metrics import get_metrics
+
+    grid = _grid(scale.default_map)
+    wl = build_workload("head", scale.default_resolution, n_pivots=1)
+    scene = wl.scene(0)
+    table = build_ica_table(
+        scene.tree, scene.tool, scene.pivot, levels=TraversalConfig().memo_levels
+    )
+
+    metrics = get_metrics()
+    rows = []
+    speedups: dict[str, float] = {}
+    for cls in _METHOD_ORDER:
+        method = cls()
+        results = {}
+        best = {}
+        for engine in ("v1", "v2"):
+            cfg = TraversalConfig(engine=engine)
+            t = None
+            for _ in range(_WALLCLOCK_REPS):
+                t0 = time.perf_counter()
+                r = run_cd(scene, grid, method, config=cfg, table=table, workers=1)
+                dt = time.perf_counter() - t0
+                t = dt if t is None else min(t, dt)
+            results[engine] = r
+            best[engine] = t
+        r1, r2 = results["v1"], results["v2"]
+        assert np.array_equal(r1.collides, r2.collides), (
+            f"{method.name}: v1/v2 maps differ"
+        )
+        for f in ThreadCounters.COUNTER_FIELDS:
+            assert np.array_equal(getattr(r1.counters, f), getattr(r2.counters, f)), (
+                f"{method.name}: v1/v2 counter {f} differs"
+            )
+        pairs = int(r2.counters.nodes_visited.sum())
+        speedup = best["v1"] / best["v2"]
+        speedups[method.name] = speedup
+        m = method.name
+        metrics.counter(f"wallclock.{m}.v1_s").inc(best["v1"])
+        metrics.counter(f"wallclock.{m}.v2_s").inc(best["v2"])
+        metrics.counter(f"wallclock.{m}.pairs").inc(pairs)
+        metrics.gauge(f"wallclock.{m}.speedup").set(speedup)
+        rows.append(
+            [
+                m,
+                pairs,
+                round(best["v1"] * 1e3, 1),
+                round(best["v2"] * 1e3, 1),
+                round(pairs / best["v2"] / 1e6, 2),
+                round(speedup, 2),
+            ]
+        )
+    return ExperimentResult(
+        exp_id="wallclock",
+        title=(
+            f"Frontier engine v1 vs v2 wall-clock (head {scale.default_resolution}^3, "
+            f"map {scale.default_map}^2, serial, best of {_WALLCLOCK_REPS})"
+        ),
+        headers=["method", "pairs", "v1 ms", "v2 ms", "v2 Mpairs/s", "v2/v1 speedup"],
+        rows=rows,
+        extras={"speedups": speedups},
+        notes="Wall-clock of the host traversal loop, not simulated-GPU ms; "
+        "maps and per-thread counters are asserted byte-identical across "
+        "engines before timing is reported.",
+    )
+
+
+#: Wall-clock repetitions per (method, engine) cell; the minimum is kept.
+_WALLCLOCK_REPS = 3
+
+
 ALL_EXPERIMENTS = {
     "table1": table1,
     "table2": table2,
@@ -745,4 +841,5 @@ ALL_EXPERIMENTS = {
     "ablation_mapping": ablation_mapping,
     "ablation_warp": ablation_warp,
     "ablation_start_level": ablation_start_level,
+    "wallclock": wallclock,
 }

@@ -41,6 +41,7 @@ from multiprocessing import get_all_start_methods, get_context, shared_memory
 
 import numpy as np
 
+from repro.engine.workspace import Workspace, export_workspace_metrics, use_workspace
 from repro.geometry.aabb import AABB
 from repro.ica.table import IcaTable
 from repro.obs.metrics import get_metrics
@@ -336,6 +337,19 @@ def use_pool(pool: WorkerPool | None):
 # ---------------------------------------------------------------------------
 
 
+# Worker-process-persistent buffer arena: one per worker, reused across
+# every task the worker runs so the v2 engine's reuse hits survive task
+# boundaries (a fresh arena per task would re-grow every buffer).
+_WORKER_WS: Workspace | None = None
+
+
+def _worker_workspace() -> Workspace:
+    global _WORKER_WS
+    if _WORKER_WS is None:
+        _WORKER_WS = Workspace()
+    return _WORKER_WS
+
+
 def _worker_prologue() -> tuple[int, float]:
     """Per-task worker bookkeeping: progress suppression + start stamps.
 
@@ -372,7 +386,9 @@ def _cd_block_task(job: dict) -> dict:
     t0, t1 = job["t0"], job["t1"]
 
     tracer = Tracer() if job["trace"] else None
-    with use_tracer(tracer):
+    ws = _worker_workspace()
+    ws_before = ws.stats()
+    with use_tracer(tracer), use_workspace(ws):
         counters = ThreadCounters(n_threads=M, n_cyl=scene.n_cylinders)
         rt = Runtime(
             scene=scene,
@@ -404,6 +420,7 @@ def _cd_block_task(job: dict) -> dict:
         "start_ns": start_ns,
         "busy_s": time.perf_counter() - busy_t0,
         "max_rss_bytes": peak_rss_bytes(),
+        "workspace": ws.stats_since(ws_before),
     }
 
 
@@ -427,7 +444,9 @@ def _pivot_task(job: dict) -> dict:
     method = method_by_name(job["method"])
     tracer = Tracer() if job["trace"] else None
     config = replace(job["config"], workers=1)  # no nested pools
-    with use_tracer(tracer), use_metrics(MetricsRegistry()):
+    with use_tracer(tracer), use_metrics(MetricsRegistry()), use_workspace(
+        _worker_workspace()
+    ):
         result = run_cd(
             scene, job["grid"], method,
             device=job["device"], costs=job["costs"], config=config,
@@ -538,6 +557,9 @@ def run_cd_parallel(
                     with WorkerPool(n_workers) as pool:
                         payloads = pool.map(_cd_block_task, jobs, on_done=on_done)
                 pool_wall = time.perf_counter() - pool_w0
+                # Worker arenas persist per process; report the largest
+                # single arena as the held-bytes level and sum the deltas.
+                ws_agg = {"bytes_held": 0, "grow_events": 0, "reuse_hits": 0}
                 for k, payload in enumerate(payloads):
                     a, b = payload["t0"], payload["t1"]
                     collides[a:b] = payload["collides"]
@@ -545,6 +567,13 @@ def run_cd_parallel(
                     for name, values in payload["counters"].items():
                         getattr(part, name)[a:b] = values
                     counters = counters.merged_with(part)
+                    wstats = payload.get("workspace")
+                    if wstats:
+                        ws_agg["bytes_held"] = max(
+                            ws_agg["bytes_held"], wstats.get("bytes_held", 0)
+                        )
+                        ws_agg["grow_events"] += wstats.get("grow_events", 0)
+                        ws_agg["reuse_hits"] += wstats.get("reuse_hits", 0)
                     stats.add_sample(k, payload)
                     if tracer.enabled:
                         tracer.absorb(
@@ -556,6 +585,9 @@ def run_cd_parallel(
                 if tracer.enabled:
                     stats.emit_wait_spans(tracer, parent=tsp.index)
                 stats.export(get_metrics(), wall_s=pool_wall)
+                export_workspace_metrics(
+                    get_metrics(), ws_agg, prefix="engine.pool.workspace"
+                )
         finally:
             if own_arena:
                 shared.destroy()

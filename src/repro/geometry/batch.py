@@ -47,7 +47,13 @@ _FACE_IDX = np.asarray(BOX_FACES, dtype=np.intp)  # (6, 4)
 
 
 def _as_halves3(halves, n: int) -> np.ndarray:
-    """Normalize ``halves`` to shape ``(n, 3)`` (accepts scalar-per-item cubes)."""
+    """Normalize ``halves`` to shape ``(n, 3)``.
+
+    Accepts a plain scalar (one cube size for the whole batch — the
+    frontier engine's common case, every pair of a level shares the cell
+    half-edge), a ``(n,)`` per-item-cube vector, or a full ``(n, 3)``
+    array.  The result is a broadcast view; no per-call allocation.
+    """
     h = np.asarray(halves, dtype=np.float64)
     if h.ndim == 1:
         h = h[:, None]
@@ -68,9 +74,16 @@ def _clip_slab_batch(poly: np.ndarray, z: np.ndarray, keep_greater: bool) -> np.
     """
     sign = 1.0 if keep_greater else -1.0
     K = poly.shape[-2]
+    lead = poly.shape[:-2]
     d = sign * (poly[..., 2] - z[..., None])  # (..., K)
-    d_next = np.roll(d, -1, axis=-1)
-    nxt = np.roll(poly, -1, axis=-2)
+    # Wraparound neighbors via two slice copies (np.roll's generic path
+    # costs several times as much on these small trailing axes).
+    d_next = np.empty_like(d)
+    d_next[..., :-1] = d[..., 1:]
+    d_next[..., -1] = d[..., 0]
+    nxt = np.empty(lead + (K, 3), dtype=np.float64)
+    nxt[..., :-1, :] = poly[..., 1:, :]
+    nxt[..., -1, :] = poly[..., 0, :]
 
     keep_vertex = d >= 0.0
     crossing = ((d > 0.0) & (d_next < 0.0)) | ((d < 0.0) & (d_next > 0.0))
@@ -79,29 +92,31 @@ def _clip_slab_batch(poly: np.ndarray, z: np.ndarray, keep_greater: bool) -> np.
     t = np.where(crossing, d / np.where(crossing, denom, 1.0), 0.0)
     cross_pt = poly + t[..., None] * (nxt - poly)
 
-    # Interleave: slot 2i holds vertex i (if kept), slot 2i+1 the crossing.
-    out = np.empty(poly.shape[:-2] + (2 * K, 3), dtype=np.float64)
-    out[..., 0::2, :] = poly
-    out[..., 1::2, :] = cross_pt
-    mask = np.empty(poly.shape[:-2] + (2 * K,), dtype=bool)
-    mask[..., 0::2] = keep_vertex
-    mask[..., 1::2] = crossing
+    # Stable compaction by direct scatter: the output order interleaves
+    # vertex i (if kept) then its crossing, so each valid entry's target
+    # slot is the count of valid entries before it — a cumsum, no sort.
+    # Entries past slot K (a convex K-gon clipped by one half-space has
+    # at most K+1 vertices) and invalid entries land in a dump slot.
+    s = keep_vertex.astype(np.int64)
+    s += crossing
+    np.cumsum(s, axis=-1, out=s)
+    count = s[..., -1]
+    pos_v = s - keep_vertex - crossing  # exclusive prefix: slot of vertex i
+    pos_c = pos_v + keep_vertex  # crossing i goes right after its vertex
+    dump = K + 1
+    idx_v = np.where(keep_vertex & (pos_v <= K), pos_v, dump)
+    idx_c = np.where(crossing & (pos_c <= K), pos_c, dump)
 
-    # Stable-compact valid slots to the front, then pad with the first slot.
-    # (Flattened 2D fancy indexing: take_along_axis on small trailing axes
-    # is an order of magnitude slower here.)
-    lead = out.shape[:-2]
-    flat_out = out.reshape(-1, 2 * K, 3)
-    flat_mask = mask.reshape(-1, 2 * K)
-    order = np.argsort(~flat_mask, axis=-1, kind="stable")
-    rows = np.arange(flat_out.shape[0])[:, None]
-    flat_out = flat_out[rows, order]
-    flat_mask = flat_mask[rows, order]
-    flat_out = np.where(flat_mask[..., None], flat_out, flat_out[:, :1, :])
+    res = np.empty(lead + (K + 2, 3), dtype=np.float64)
+    np.put_along_axis(res, idx_v[..., None], poly, axis=-2)
+    np.put_along_axis(res, idx_c[..., None], cross_pt, axis=-2)
 
-    # A convex K-gon clipped by one half-space has at most K+1 vertices.
-    out = flat_out[:, : K + 1, :].reshape(lead + (K + 1, 3))
-    alive = flat_mask[:, : K + 1].any(axis=-1).reshape(lead)
+    # Pad trailing slots with the first valid vertex (vertex 0 when the
+    # row is fully clipped — matching the reference compaction).
+    alive = count > 0
+    pad = np.where(alive[..., None], res[..., 0, :], poly[..., 0, :])
+    padmask = np.arange(K + 1) >= count[..., None]  # (..., K+1)
+    out = np.where(padmask[..., None], pad[..., None, :], res[..., : K + 1, :])
     return out, alive
 
 
@@ -111,7 +126,9 @@ def _poly_circle_hit(pts: np.ndarray, radius: np.ndarray) -> np.ndarray:
     ``pts`` has shape ``(..., K, 2)`` with pad slots repeating a real
     vertex (zero-length pad edges are neutral in both tests below).
     """
-    nxt = np.roll(pts, -1, axis=-2)
+    nxt = np.empty_like(pts)
+    nxt[..., :-1, :] = pts[..., 1:, :]
+    nxt[..., -1, :] = pts[..., 0, :]
     cross = pts[..., 0] * nxt[..., 1] - pts[..., 1] * nxt[..., 0]  # (..., K)
     nondegenerate = np.any(cross != 0.0, axis=-1)
     inside = (np.all(cross >= 0.0, axis=-1) | np.all(cross <= 0.0, axis=-1)) & nondegenerate
@@ -134,13 +151,15 @@ def _tool_aabb_block(
     z0s: np.ndarray,
     z1s: np.ndarray,
     rads: np.ndarray,
+    frames: np.ndarray | None = None,
 ) -> np.ndarray:
     """One chunk of the whole-tool CHECKBOX kernel; returns ``(P,)`` bool."""
     P = dirs.shape[0]
     C = z0s.shape[0]
 
     # Rotation step: all box corners into the (per-item) cylinder frame.
-    frames = frame_from_axis(dirs)  # (P, 3, 3)
+    if frames is None:
+        frames = frame_from_axis(dirs)  # (P, 3, 3)
     corners = centers[:, None, :] + _CORNER_SIGNS[None, :, :] * halves3[:, None, :]
     local = np.einsum("pij,pkj->pki", frames, corners - pivot)  # (P, 8, 3)
 
@@ -154,18 +173,27 @@ def _tool_aabb_block(
     )  # (P, C)
     hit = inside_box.any(axis=-1)
 
-    # Decomposition + projection, face by face, broadcast over cylinders.
-    z0b = np.broadcast_to(z0s[None, :], (P, C))
-    z1b = np.broadcast_to(z1s[None, :], (P, C))
-    radb = np.broadcast_to(rads[None, :], (P, C))
+    # Decomposition + projection, face by face.  Two sound pre-rejects
+    # shrink the clip batch without changing any verdict: a face whose
+    # z-range misses the cylinder slab entirely would come out of the
+    # two clips dead (``alive`` False) so its circle test cannot fire,
+    # and a pair that already hit stays hit — ``hit`` only accumulates
+    # through OR.  Only the surviving (pair, cylinder) rows are clipped.
     for f in range(6):
         quad = local[:, _FACE_IDX[f], :]  # (P, 4, 3)
-        poly = np.broadcast_to(quad[:, None, :, :], (P, C, 4, 3))
-        poly, alive = _clip_slab_batch(poly, z0b, keep_greater=True)
-        poly, alive2 = _clip_slab_batch(poly, z1b, keep_greater=False)
+        qz = quad[..., 2]
+        qlo = qz.min(axis=-1)  # (P,)
+        qhi = qz.max(axis=-1)
+        act = (qlo[:, None] <= z1s[None, :]) & (qhi[:, None] >= z0s[None, :])
+        act &= ~hit[:, None]
+        pi, ci = np.nonzero(act)
+        if not len(pi):
+            continue
+        poly, alive = _clip_slab_batch(quad[pi], z0s[ci], keep_greater=True)
+        poly, alive2 = _clip_slab_batch(poly, z1s[ci], keep_greater=False)
         alive &= alive2
-        face_hit = alive & _poly_circle_hit(poly[..., :2], radb)
-        hit |= face_hit.any(axis=-1)
+        face_hit = alive & _poly_circle_hit(poly[..., :2], rads[ci])
+        hit[pi[face_hit]] = True
     return hit
 
 
@@ -180,12 +208,20 @@ def tool_aabb_batch(
     *,
     chunk: int = DEFAULT_CHUNK,
     screen: bool = True,
+    frames: np.ndarray | None = None,
 ) -> np.ndarray:
     """Batched whole-tool ``CHECKBOX``: does any tool cylinder hit each box?
 
     Exact (matches :func:`repro.geometry.predicates.tool_cylinders_aabb_intersects`
     elementwise).  Work items are processed in chunks of ``chunk`` to bound
-    peak memory at roughly ``chunk * C * 300`` bytes.
+    peak memory at roughly ``chunk * C * 300`` bytes.  ``halves`` may be
+    a scalar (one cube size for the batch), ``(P,)`` or ``(P, 3)``.
+
+    ``frames`` — optional precomputed per-item rotation frames
+    ``(P, 3, 3)`` (``frame_from_axis(dirs)``, which is elementwise per
+    item, so callers that know their items share directions may compute
+    frames once per direction and gather).  Results are bit-identical
+    with or without it; it only skips recomputation.
 
     ``screen=True`` first resolves each pair with the inscribed/
     circumscribed sphere argument (the geometric core of the paper's ICA
@@ -233,6 +269,7 @@ def tool_aabb_batch(
                 rads,
                 chunk=chunk,
                 screen=False,
+                frames=frames[undecided] if frames is not None else None,
             )
         return out
 
@@ -240,7 +277,8 @@ def tool_aabb_batch(
     for start in range(0, P, chunk):
         sl = slice(start, min(start + chunk, P))
         out[sl] = _tool_aabb_block(
-            pivot, dirs[sl], centers[sl], halves3[sl], z0s, z1s, rads
+            pivot, dirs[sl], centers[sl], halves3[sl], z0s, z1s, rads,
+            frames=frames[sl] if frames is not None else None,
         )
     return out
 
@@ -255,6 +293,7 @@ def tool_aabb_cull_batch(
     exact test can be skipped (provably no intersection); ``True`` means
     "possible" and the exact kernel must run.  This is the paper's
     optimized-PBox trick: apply AABBs to the voxel after each rotation.
+    ``halves`` may be a scalar, ``(P,)`` or ``(P, 3)``.
     """
     pivot = np.asarray(pivot, dtype=np.float64)
     dirs = np.asarray(dirs, dtype=np.float64)

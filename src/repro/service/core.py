@@ -33,6 +33,7 @@ from repro.cd.methods import METHODS, method_by_name
 from repro.cd.pathrun import run_along_path
 from repro.cd.scene import Scene
 from repro.cd.traversal import TraversalConfig, run_cd
+from repro.engine.workspace import Workspace, use_workspace
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.service.batching import QueryBroker
@@ -221,6 +222,10 @@ class Service:
         )
         self._pools: dict[int, object] = {}
         self._pool_lock = threading.Lock()
+        # One reusable frontier-engine arena per dispatch thread: serial
+        # computations reuse buffers across requests instead of growing a
+        # fresh workspace per query (parallel runs use per-worker arenas).
+        self._ws_tls = threading.local()
         self._started = time.perf_counter()
         self._closed = False
 
@@ -256,6 +261,12 @@ class Service:
         metrics = get_metrics()
         metrics.counter("service.requests").inc()
         metrics.counter(f"service.requests.{served}").inc()
+
+    def _thread_workspace(self) -> Workspace:
+        ws = getattr(self._ws_tls, "workspace", None)
+        if ws is None:
+            ws = self._ws_tls.workspace = Workspace()
+        return ws
 
     def _get_pool(self, workers: int):
         from repro.engine.pool import WorkerPool
@@ -296,7 +307,8 @@ class Service:
 
         if spec.pivots is not None:
             arena = self.registry.get_arena(digest) if parallel else None
-            with use_pool(self._get_pool(workers) if parallel else None):
+            with use_pool(self._get_pool(workers) if parallel else None), \
+                    use_workspace(self._thread_workspace()):
                 pr = run_along_path(
                     scene.tree, scene.tool, np.asarray(spec.pivots), grid, method,
                     config=config, workers=workers, shared=arena,
@@ -330,7 +342,8 @@ class Service:
                 if parallel
                 else None
             )
-            with use_pool(self._get_pool(workers) if parallel else None):
+            with use_pool(self._get_pool(workers) if parallel else None), \
+                    use_workspace(self._thread_workspace()):
                 r = run_cd(
                     scene, grid, method,
                     config=config, workers=workers, table=table, shared=arena,

@@ -10,6 +10,7 @@ from repro.geometry.batch import (
     tool_point_distance_2d,
 )
 from repro.geometry.cylinder import Cylinder
+from repro.geometry.frames import frame_from_axis
 from repro.geometry.orientation import direction_from_angles
 from repro.geometry.predicates import tool_cylinders_aabb_intersects
 
@@ -99,6 +100,56 @@ class TestToolAabbBatch:
             2.0,
         )
         assert got[0]
+
+
+class TestScalarHalvesAndFrames:
+    """The frontier engine's fast-path arguments must not change verdicts."""
+
+    def test_scalar_half_matches_vector(self, random_batch):
+        # v2 passes the level's shared cube half-edge as a plain scalar;
+        # it must decide exactly like the equivalent per-item vector.
+        pivot, dirs, centers, _, z0s, z1s, rads = random_batch
+        h = 1.25
+        vec = np.full(len(dirs), h)
+        np.testing.assert_array_equal(
+            tool_aabb_batch(pivot, dirs, centers, h, z0s, z1s, rads),
+            tool_aabb_batch(pivot, dirs, centers, vec, z0s, z1s, rads),
+        )
+        np.testing.assert_array_equal(
+            tool_aabb_cull_batch(pivot, dirs, centers, h, z0s, z1s, rads),
+            tool_aabb_cull_batch(pivot, dirs, centers, vec, z0s, z1s, rads),
+        )
+
+    def test_scalar_half_matches_scalar_reference(self, random_batch):
+        pivot, dirs, centers, _, z0s, z1s, rads = random_batch
+        h = 1.25
+        exp = _scalar_reference(
+            pivot, dirs, centers, np.full(len(dirs), h), z0s, z1s, rads
+        )
+        np.testing.assert_array_equal(
+            tool_aabb_batch(pivot, dirs, centers, h, z0s, z1s, rads), exp
+        )
+
+    def test_precomputed_frames_identical(self, random_batch):
+        # v2 hoists the per-thread tool frames once per block and passes
+        # them in; frame_from_axis is deterministic, so the kernel must
+        # return bit-identical verdicts either way.
+        pivot, dirs, centers, halves, z0s, z1s, rads = random_batch
+        frames = frame_from_axis(dirs)
+        np.testing.assert_array_equal(
+            tool_aabb_batch(
+                pivot, dirs, centers, halves, z0s, z1s, rads, frames=frames
+            ),
+            tool_aabb_batch(pivot, dirs, centers, halves, z0s, z1s, rads),
+        )
+        # ...including through the internal chunk loop.
+        np.testing.assert_array_equal(
+            tool_aabb_batch(
+                pivot, dirs, centers, halves, z0s, z1s, rads,
+                frames=frames, chunk=77,
+            ),
+            tool_aabb_batch(pivot, dirs, centers, halves, z0s, z1s, rads),
+        )
 
 
 class TestCullBatch:
