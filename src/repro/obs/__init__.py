@@ -13,12 +13,34 @@ without cycles):
 * :mod:`repro.obs.timeline` — exports a finished trace as
   Chrome/Perfetto trace-event JSON or collapsed flamegraph stacks;
 * :mod:`repro.obs.profile` — pool utilization/imbalance accounting,
-  peak-RSS memory telemetry, and the opt-in progress heartbeat.
+  peak-RSS memory telemetry, and the opt-in progress heartbeat;
+* :mod:`repro.obs.log` — request IDs and the structured JSON access log
+  the serving tier writes (``REPRO_ACCESS_LOG``);
+* :mod:`repro.obs.expo` — the metrics registry rendered in Prometheus
+  text exposition format (plus a validating parser);
+* :mod:`repro.obs.window` — sliding-window request statistics (rolling
+  RPS, error rate, latency quantiles) for live serving.
 
 The ``repro-obs`` console script (:mod:`repro.obs.cli`) drives the
-timeline exports and report diffs from the command line.
+timeline exports, report diffs, and the live ``watch`` dashboard from
+the command line.
 """
 
+from repro.obs.expo import (
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+    snapshot_parity_problems,
+)
+from repro.obs.log import (
+    NULL_ACCESS_LOG,
+    AccessLog,
+    NullAccessLog,
+    get_access_log,
+    new_request_id,
+    set_access_log,
+    use_access_log,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -59,8 +81,21 @@ from repro.obs.trace import (
     tracing_enabled,
     use_tracer,
 )
+from repro.obs.window import RequestWindow
 
 __all__ = [
+    "AccessLog",
+    "NullAccessLog",
+    "NULL_ACCESS_LOG",
+    "get_access_log",
+    "new_request_id",
+    "set_access_log",
+    "use_access_log",
+    "parse_prometheus",
+    "prometheus_name",
+    "render_prometheus",
+    "snapshot_parity_problems",
+    "RequestWindow",
     "Heartbeat",
     "PoolStats",
     "peak_rss_bytes",

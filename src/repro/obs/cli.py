@@ -1,4 +1,5 @@
-"""``repro-obs`` — offline analysis of saved run reports.
+"""``repro-obs`` — offline analysis of saved run reports, plus a live
+console against a running server.
 
 Usage::
 
@@ -8,6 +9,7 @@ Usage::
     repro-obs export r.json --format perfetto -o trace.json
     repro-obs export r.json --format collapsed -o stacks.txt
     repro-obs diff baseline.json current.json  # per-span + per-metric deltas
+    repro-obs watch http://127.0.0.1:8077      # live serving dashboard
 
 ``tree`` and ``top`` read the trace out of a ``repro-bench ... --json``
 report; ``export`` converts it to a Perfetto timeline (open at
@@ -16,14 +18,26 @@ https://speedscope.app); ``diff`` prints every tracked metric's movement
 between two reports and exits nonzero on regression (same engine as
 ``repro-bench compare``, plus the full delta table).
 
+``watch`` polls a live ``repro-serve`` (``/v1/healthz`` +
+``/v1/metrics``) every ``--interval`` seconds and renders a terminal
+dashboard: uptime, the rolling 1s/10s/60s request window (RPS, error
+rate, latency quantiles), sparklines of the 10s window across polls,
+cache hit rate / queue depth, and the counters that moved most since
+the previous poll.  ``--once`` renders a single frame and exits — the
+mode tests and CI use.
+
 Exit codes: ``0`` success, ``1`` ``diff`` flagged a regression, ``2``
-usage errors (unreadable report, bad format).
+usage errors (unreadable report, bad format, unreachable server).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
+import urllib.error
+import urllib.request
 
 from repro.obs.report import RunReport, compare, load_report
 from repro.obs.timeline import perfetto_json, to_collapsed
@@ -192,6 +206,152 @@ def _cmd_diff(args) -> int:
 
 
 # ---------------------------------------------------------------------------
+# watch — live console against a running repro-serve
+# ---------------------------------------------------------------------------
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def _spark(values: list[float], width: int = 30) -> str:
+    """Unicode sparkline of the last ``width`` values (empty-safe)."""
+    values = [float(v) for v in values][-width:]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(values)
+    scale = (len(_SPARK_CHARS) - 1) / (hi - lo)
+    return "".join(_SPARK_CHARS[int((v - lo) * scale)] for v in values)
+
+
+def _fetch_json(url: str, timeout: float = 10.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def _counter_values(metrics: dict) -> dict[str, float]:
+    return {
+        name: float(m.get("value") or 0)
+        for name, m in metrics.items()
+        if isinstance(m, dict) and m.get("type") == "counter"
+    }
+
+
+def _fmt_uptime(seconds: float) -> str:
+    seconds = int(seconds)
+    if seconds < 120:
+        return f"{seconds}s"
+    if seconds < 7200:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+
+
+def _render_watch_frame(
+    base: str,
+    healthz: dict,
+    metrics: dict,
+    prev_counters: dict[str, float] | None,
+    history: dict[str, list[float]],
+    *,
+    deltas_limit: int = 8,
+) -> str:
+    lines = [
+        f"repro-serve @ {base}  up {_fmt_uptime(healthz.get('uptime_s', 0))}"
+        f"  scenes {healthz.get('scenes', '?')}"
+        f"  queue {healthz.get('queue_depth', '?')}"
+        f"  cache {healthz.get('cache_entries', '?')} entries",
+    ]
+    window = healthz.get("window", {})
+    if window:
+        lines.append(
+            f"{'window':>8} {'rps':>8} {'err%':>7} {'p50ms':>8} {'p95ms':>8} "
+            f"{'p99ms':>8} {'n':>6}"
+        )
+        for label in ("1s", "10s", "60s"):
+            stats = window.get(label)
+            if not stats:
+                continue
+            lines.append(
+                f"{label:>8} {stats['rps']:8.1f} {stats['error_rate'] * 100:6.1f}% "
+                f"{stats['p50_ms']:8.1f} {stats['p95_ms']:8.1f} "
+                f"{stats['p99_ms']:8.1f} {stats['count']:6d}"
+            )
+        ten = window.get("10s")
+        if ten is not None:
+            history["rps"].append(ten["rps"])
+            history["p95"].append(ten["p95_ms"])
+            history["err"].append(ten["error_rate"] * 100)
+            lines.append(
+                f"   rps(10s) {_spark(history['rps']):<30}  "
+                f"p95(10s) {_spark(history['p95']):<30}  "
+                f"err(10s) {_spark(history['err'])}"
+            )
+    counters = _counter_values(metrics)
+    hits = counters.get("service.cache.hits", 0.0)
+    misses = counters.get("service.cache.misses", 0.0)
+    hit_rate = hits / (hits + misses) if hits + misses else 0.0
+    lines.append(
+        f"cache hit rate {hit_rate:.0%} ({hits:g} hits / {misses:g} misses)  "
+        f"coalesced {counters.get('service.coalesced', 0):g}  "
+        f"rejected {counters.get('service.rejected', 0):g}  "
+        f"errors {counters.get('service.errors', 0):g}"
+    )
+    if prev_counters is None:
+        lines.append("top deltas: (first poll)")
+    else:
+        deltas = sorted(
+            (
+                (name, value - prev_counters.get(name, 0.0))
+                for name, value in counters.items()
+                if value != prev_counters.get(name, 0.0)
+            ),
+            key=lambda pair: abs(pair[1]),
+            reverse=True,
+        )[:deltas_limit]
+        if deltas:
+            width = max(len(name) for name, _ in deltas)
+            lines.append("top deltas since last poll:")
+            lines.extend(
+                f"  {name:<{width}}  {delta:+g}" for name, delta in deltas
+            )
+        else:
+            lines.append("top deltas since last poll: (no counter moved)")
+    return "\n".join(lines)
+
+
+def _cmd_watch(args) -> int:
+    base = args.url.rstrip("/")
+    prev_counters: dict[str, float] | None = None
+    history: dict[str, list[float]] = {"rps": [], "p95": [], "err": []}
+    frame = 0
+    clear = sys.stdout.isatty() and not args.once
+    while True:
+        try:
+            healthz = _fetch_json(f"{base}/v1/healthz")
+            metrics = _fetch_json(f"{base}/v1/metrics")
+        except (urllib.error.URLError, OSError, ValueError) as exc:
+            if frame == 0:
+                raise UsageError(f"cannot reach {base}: {exc}") from None
+            print(f"[poll failed: {exc}]", flush=True)
+            time.sleep(args.interval)
+            continue
+        text = _render_watch_frame(base, healthz, metrics, prev_counters, history)
+        if clear:
+            print("\x1b[2J\x1b[H", end="")
+        print(text, flush=True)
+        prev_counters = _counter_values(metrics)
+        frame += 1
+        if args.once or (args.frames and frame >= args.frames):
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+        if not clear:
+            print()  # frame separator when scrolling instead of clearing
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -242,6 +402,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--all", action="store_true", help="also show metrics that did not move"
     )
     p_diff.set_defaults(fn=_cmd_diff)
+
+    p_watch = sub.add_parser(
+        "watch", help="live dashboard polling a running repro-serve"
+    )
+    p_watch.add_argument("url", help="base URL of a running repro-serve")
+    p_watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls (default 2)",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="render a single frame and exit (for tests/CI)",
+    )
+    p_watch.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="stop after N frames (0 = run until interrupted)",
+    )
+    p_watch.set_defaults(fn=_cmd_watch)
     return parser
 
 
@@ -252,6 +430,8 @@ def main(argv: list[str] | None = None) -> int:
     except UsageError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        return 0
 
 
 if __name__ == "__main__":

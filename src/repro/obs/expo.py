@@ -1,0 +1,346 @@
+"""Prometheus text exposition for the metrics registry.
+
+``GET /v1/metrics`` has always answered JSON — fine for ``repro-obs
+diff`` and the loadgen report pipeline, unreadable to every scraper in
+existence.  This module renders the same snapshot in the Prometheus
+text exposition format (version 0.0.4), so a stock Prometheus (or
+anything speaking its format) can scrape a live ``repro-serve``:
+
+* the renderer is a pure function of :meth:`MetricsRegistry.as_dict`
+  output, so the exposition *cannot* drift from the JSON snapshot — the
+  two views are one snapshot, two encodings;
+* dotted repro names sanitize to Prometheus names (``service.cache.hits``
+  → ``service_cache_hits_total``; counters get the conventional
+  ``_total`` suffix), with the original name preserved in ``# HELP``;
+* histograms render the standard ``_bucket``/``_sum``/``_count``
+  triple.  The registry's power-of-two buckets (bucket ``i`` counts
+  ``[2^(i-1), 2^i)``, bucket 0 is ``[0, 1)``) map to cumulative
+  ``le="1"``, ``le="2"``, ``le="4"`` … ``le="+Inf"`` bounds — the bucket
+  *shape* is preserved exactly; only the half-open/closed boundary
+  convention differs, which no quantile consumer can observe;
+* gauges whose value is unset (``None``) or non-numeric are skipped —
+  Prometheus has no encoding for them.
+
+The module also ships a small :func:`parse_prometheus` — enough of the
+format to round-trip what the renderer emits — and
+:func:`snapshot_parity_problems`, the checker CI and
+``repro-loadgen --prometheus-check`` use to assert that a live scrape
+agrees with the JSON snapshot taken next to it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+__all__ = [
+    "CONTENT_TYPE",
+    "prometheus_name",
+    "escape_label_value",
+    "escape_help",
+    "render_prometheus",
+    "parse_prometheus",
+    "snapshot_parity_problems",
+]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_VALID_START = re.compile(r"[a-zA-Z_:]")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+\d+)?$"  # optional timestamp, ignored
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def prometheus_name(name: str, kind: str = "gauge") -> str:
+    """Sanitize a dotted repro metric name to a Prometheus metric name.
+
+    Invalid characters become ``_``; a leading digit gets a ``_``
+    prefix; counters gain the conventional ``_total`` suffix (unless
+    already present).
+    """
+    out = _INVALID_CHARS.sub("_", name)
+    if not out or not _VALID_START.match(out[0]):
+        out = "_" + out
+    if kind == "counter" and not out.endswith("_total"):
+        out += "_total"
+    return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value: backslash, double quote, newline."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: backslash and newline only (no quotes)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value) -> str:
+    """Render a sample value: ints exact, floats via repr, inf/nan named."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def bucket_upper_bounds(n_buckets: int) -> list[float]:
+    """``le`` bounds for the registry's power-of-two buckets: bucket 0
+    (``[0, 1)``) → 1, bucket i (``[2^(i-1), 2^i)``) → ``2^i``."""
+    return [float(2 ** i) if i else 1.0 for i in range(n_buckets)]
+
+
+def render_prometheus(metrics, *, include_help: bool = True) -> str:
+    """Render a registry (or its :meth:`as_dict` snapshot) as exposition text.
+
+    ``metrics`` is either a :class:`~repro.obs.metrics.MetricsRegistry`
+    or the dict its ``as_dict()`` returns.  Families are emitted in
+    sorted source-name order; the trailing newline is included (the
+    format requires the last line to be terminated).
+    """
+    snapshot = metrics.as_dict() if hasattr(metrics, "as_dict") else metrics
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        if kind == "counter":
+            value = entry.get("value", 0)
+            if not _is_numeric(value):
+                continue
+            pname = prometheus_name(name, "counter")
+            if include_help:
+                lines.append(f"# HELP {pname} repro metric {escape_help(name)}")
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {_format_value(value)}")
+        elif kind == "gauge":
+            value = entry.get("value")
+            if not _is_numeric(value):
+                continue  # unset or non-numeric gauge: nothing to expose
+            pname = prometheus_name(name, "gauge")
+            if include_help:
+                lines.append(f"# HELP {pname} repro metric {escape_help(name)}")
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_format_value(value)}")
+        elif kind == "histogram":
+            pname = prometheus_name(name, "histogram")
+            count = int(entry.get("count", 0))
+            total = float(entry.get("sum", 0.0))
+            buckets = list(entry.get("buckets", ()))
+            if include_help:
+                lines.append(f"# HELP {pname} repro metric {escape_help(name)}")
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for upper, bucket_count in zip(bucket_upper_bounds(len(buckets)), buckets):
+                cumulative += int(bucket_count)
+                le = escape_label_value(_format_value(upper))
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{pname}_sum {_format_value(total)}")
+            lines.append(f"{pname}_count {count}")
+        # unknown types are skipped: exposition is best-effort by design
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ---------------------------------------------------------------------------
+# parsing — just enough of the format to validate what we emit
+# ---------------------------------------------------------------------------
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    return float(text)
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into families.
+
+    Returns ``{family_name: {"type": str | None, "help": str | None,
+    "samples": [(sample_name, labels_dict, value), ...]}}``, where
+    ``family_name`` strips the ``_bucket``/``_sum``/``_count`` suffixes
+    of histogram samples.  Raises :class:`ValueError` on a malformed
+    line — this is a validator first, a parser second.
+    """
+    families: dict[str, dict] = {}
+
+    def family(name: str) -> dict:
+        return families.setdefault(name, {"type": None, "help": None, "samples": []})
+
+    declared: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                family(parts[2])["type"] = parts[3]
+                declared[parts[2]] = parts[3]
+            elif len(parts) >= 3 and parts[1] == "HELP":
+                family(parts[2])["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        raw_labels = match.group("labels")
+        if raw_labels:
+            consumed = 0
+            for lm in _LABEL.finditer(raw_labels):
+                labels[lm.group(1)] = _unescape_label_value(lm.group(2))
+                consumed = lm.end()
+            leftover = raw_labels[consumed:].strip(" ,")
+            if leftover:
+                raise ValueError(f"line {lineno}: malformed labels {raw_labels!r}")
+        value = _parse_value(match.group("value"))
+        fam_name = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[: -len(suffix)] if name.endswith(suffix) else None
+            if base and declared.get(base) == "histogram":
+                fam_name = base
+                break
+        family(fam_name)["samples"].append((name, labels, value))
+    return families
+
+
+# ---------------------------------------------------------------------------
+# parity — does a live scrape agree with the JSON snapshot next to it?
+# ---------------------------------------------------------------------------
+
+
+def _sample_value(fam: dict, sample_name: str, labels: dict | None = None):
+    for name, lab, value in fam["samples"]:
+        if name == sample_name and (labels is None or lab == labels):
+            return value
+    return None
+
+
+def snapshot_parity_problems(
+    snapshot: dict,
+    families: dict,
+    *,
+    volatile_prefixes: tuple[str, ...] = ("service.window.",),
+    rel_tol: float = 1e-9,
+) -> list[str]:
+    """Compare a JSON metrics snapshot against parsed exposition families.
+
+    Returns a list of human-readable problems (empty = parity).  Metrics
+    whose names start with one of ``volatile_prefixes`` are only checked
+    for *presence* — they are recomputed per scrape (the sliding-window
+    gauges), so two scrapes legitimately disagree on their values.
+    """
+    problems: list[str] = []
+
+    def close(a: float, b: float) -> bool:
+        return math.isclose(float(a), float(b), rel_tol=rel_tol, abs_tol=1e-9)
+
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("type")
+        volatile = name.startswith(volatile_prefixes)
+        if kind == "counter":
+            pname = prometheus_name(name, "counter")
+            fam = families.get(pname)
+            if fam is None:
+                problems.append(f"{name}: counter family {pname} missing")
+                continue
+            value = _sample_value(fam, pname, {})
+            if value is None:
+                problems.append(f"{name}: no sample {pname}")
+            elif not volatile and not close(value, entry.get("value", 0)):
+                problems.append(
+                    f"{name}: counter {value} != snapshot {entry.get('value')}"
+                )
+        elif kind == "gauge":
+            if not _is_numeric(entry.get("value")):
+                continue  # never exposed; nothing to check
+            pname = prometheus_name(name, "gauge")
+            fam = families.get(pname)
+            if fam is None:
+                problems.append(f"{name}: gauge family {pname} missing")
+                continue
+            value = _sample_value(fam, pname, {})
+            if value is None:
+                problems.append(f"{name}: no sample {pname}")
+            elif not volatile and not close(value, entry["value"]):
+                problems.append(f"{name}: gauge {value} != snapshot {entry['value']}")
+        elif kind == "histogram":
+            pname = prometheus_name(name, "histogram")
+            fam = families.get(pname)
+            if fam is None:
+                problems.append(f"{name}: histogram family {pname} missing")
+                continue
+            count = _sample_value(fam, f"{pname}_count", {})
+            total = _sample_value(fam, f"{pname}_sum", {})
+            inf = _sample_value(fam, f"{pname}_bucket", {"le": "+Inf"})
+            if count is None or total is None or inf is None:
+                problems.append(f"{name}: incomplete histogram samples")
+                continue
+            if inf != count:
+                problems.append(f"{name}: +Inf bucket {inf} != count {count}")
+            if not volatile:
+                if not close(count, entry.get("count", 0)):
+                    problems.append(
+                        f"{name}: count {count} != snapshot {entry.get('count')}"
+                    )
+                if not close(total, entry.get("sum", 0.0)):
+                    problems.append(
+                        f"{name}: sum {total} != snapshot {entry.get('sum')}"
+                    )
+            # bucket samples must be cumulative (non-decreasing by le)
+            buckets = sorted(
+                (
+                    (lab["le"], value)
+                    for sample, lab, value in fam["samples"]
+                    if sample == f"{pname}_bucket"
+                ),
+                key=lambda pair: math.inf if pair[0] == "+Inf" else float(pair[0]),
+            )
+            last = -math.inf
+            for le, value in buckets:
+                if value < last:
+                    problems.append(f"{name}: bucket le={le} not cumulative")
+                last = value
+    return problems

@@ -1,0 +1,184 @@
+"""Structured access logging and request identity for the serving tier.
+
+Offline runs get their story told by traces and reports; a *live*
+server needs a flight recorder instead: one machine-parseable line per
+request, written as the request finishes, that an operator can tail,
+grep by request ID, and correlate with trace spans and metrics.
+
+* :func:`new_request_id` — the request identity minted (or honored from
+  an inbound ``X-Request-Id`` header) by the HTTP front end and threaded
+  through :meth:`repro.service.core.Service.query`, the coalescing
+  broker's queue-wait spans, and the access log.
+* :class:`AccessLog` — thread-safe JSON-lines writer.  Each record is
+  one flat JSON object per line (keys sorted, so lines diff cleanly):
+  ``ts`` (epoch seconds), ``id`` (request ID), ``route``, ``method``,
+  ``status``, ``ms``, plus whatever the handler stashes (``served``
+  disposition, ``scene`` digest prefix, ``error``).
+
+The ambient log is configured once from ``REPRO_ACCESS_LOG``:
+
+========================  =============================================
+``REPRO_ACCESS_LOG``      behavior
+========================  =============================================
+unset / ``1`` / ``on``    enabled, JSON lines to stderr (the default)
+``0`` / ``off`` …         disabled (:data:`NULL_ACCESS_LOG`)
+anything else             treated as a path; lines appended to that file
+========================  =============================================
+
+Like the tracer and metrics registry, tests scope their own instance
+with :func:`use_access_log` instead of mutating the environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+
+__all__ = [
+    "AccessLog",
+    "NullAccessLog",
+    "NULL_ACCESS_LOG",
+    "access_log_from_env",
+    "get_access_log",
+    "set_access_log",
+    "use_access_log",
+    "new_request_id",
+]
+
+_OFF_WORDS = {"0", "false", "off", "no", "none"}
+_ON_WORDS = {"", "1", "true", "on", "yes", "stderr"}
+
+
+def new_request_id() -> str:
+    """A fresh 32-hex-char request ID (uuid4, no dashes)."""
+    return uuid.uuid4().hex
+
+
+class AccessLog:
+    """Thread-safe one-JSON-object-per-line request log.
+
+    Exactly one sink: ``path`` opens (and owns) an append-mode file;
+    ``stream`` writes to a caller-owned file object; neither means
+    "whatever ``sys.stderr`` is at write time" — resolved per write so
+    stderr redirection (and pytest capture) keeps working.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str | None = None, stream=None) -> None:
+        if path is not None and stream is not None:
+            raise ValueError("give at most one of path / stream")
+        self.path = path
+        self._stream = stream
+        self._owned = None
+        if path is not None:
+            self._owned = self._stream = open(path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        """Append one record as a compact, key-sorted JSON line."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"), default=str)
+        with self._lock:
+            stream = self._stream if self._stream is not None else sys.stderr
+            stream.write(line + "\n")
+            stream.flush()
+
+    def request(
+        self,
+        *,
+        id: str,
+        route: str,
+        method: str,
+        status: int,
+        ms: float,
+        **fields,
+    ) -> None:
+        """Log one finished request; ``None``-valued extras are dropped."""
+        record = {
+            "ts": round(time.time(), 6),
+            "id": id,
+            "route": route,
+            "method": method,
+            "status": int(status),
+            "ms": round(float(ms), 3),
+        }
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        self.write(record)
+
+    def close(self) -> None:
+        """Close the file this log opened itself; idempotent."""
+        with self._lock:
+            if self._owned is not None:
+                self._owned.close()
+                self._owned = None
+                self._stream = None
+                self.enabled = False
+
+
+class NullAccessLog:
+    """The disabled log: accepts everything, writes nothing."""
+
+    enabled = False
+    path = None
+
+    def write(self, record: dict) -> None:
+        pass
+
+    def request(self, **fields) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+NULL_ACCESS_LOG = NullAccessLog()
+
+
+def access_log_from_env():
+    """Build the log ``REPRO_ACCESS_LOG`` asks for (see module docs)."""
+    value = os.environ.get("REPRO_ACCESS_LOG", "").strip()
+    if value.lower() in _OFF_WORDS:
+        return NULL_ACCESS_LOG
+    if value.lower() in _ON_WORDS:
+        return AccessLog()
+    return AccessLog(path=value)
+
+
+_CURRENT = None
+_CURRENT_LOCK = threading.Lock()
+
+
+def get_access_log():
+    """The ambient access log, built from the environment on first use."""
+    global _CURRENT
+    if _CURRENT is None:
+        with _CURRENT_LOCK:
+            if _CURRENT is None:
+                _CURRENT = access_log_from_env()
+    return _CURRENT
+
+
+def set_access_log(log) -> object:
+    """Install ``log`` (``None`` = disable); returns the previous one."""
+    global _CURRENT
+    with _CURRENT_LOCK:
+        prev = _CURRENT
+        _CURRENT = log if log is not None else NULL_ACCESS_LOG
+    return prev
+
+
+@contextmanager
+def use_access_log(log):
+    """Scoped :func:`set_access_log`: installs for the block, restores after."""
+    prev = set_access_log(log)
+    try:
+        yield log
+    finally:
+        set_access_log(prev)

@@ -17,11 +17,21 @@ Metric types:
 Unlike tracing, metric accumulation is always on (a handful of scalar
 adds per CD run — far below measurement noise); swap in a fresh registry
 with :func:`use_metrics` to scope collection to one report.
+
+Thread safety: the registry's create-or-get and every metric mutation
+take a lock, because the serving tier mutates the ambient registry from
+many ``ThreadingHTTPServer`` dispatch threads at once — unlocked
+``value += amount`` read-modify-writes lose updates under preemption.
+The locks are per-metric and per-registry (no global), the hot
+vectorized path of :meth:`Histogram.observe_many` stays outside the
+lock (numpy reductions first, one locked accumulate after), and the
+single-threaded bench path pays one uncontended lock per run — noise.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from contextlib import contextmanager
 
 import numpy as np
@@ -40,16 +50,18 @@ __all__ = [
 class Counter:
     """Monotonically increasing accumulator."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount=1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def to_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
@@ -58,14 +70,16 @@ class Counter:
 class Gauge:
     """Last-write-wins scalar."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = None
+        self._lock = threading.Lock()
 
     def set(self, value) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def to_dict(self) -> dict:
         return {"type": "gauge", "value": self.value}
@@ -80,7 +94,7 @@ class Histogram:
     regression tracking, the shape is.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
 
     N_BUCKETS = 64
 
@@ -91,6 +105,7 @@ class Histogram:
         self.min = math.inf
         self.max = -math.inf
         self.buckets = [0] * self.N_BUCKETS
+        self._lock = threading.Lock()
 
     def observe(self, value) -> None:
         self.observe_many(np.asarray([value], dtype=np.float64))
@@ -100,52 +115,62 @@ class Histogram:
         values = np.asarray(values, dtype=np.float64).ravel()
         if values.size == 0:
             return
-        if float(values.min()) < 0:
+        vmin = float(values.min())
+        if vmin < 0:
             raise ValueError(f"histogram {self.name} takes non-negative values")
-        self.count += int(values.size)
-        self.total += float(values.sum())
-        self.min = min(self.min, float(values.min()))
-        self.max = max(self.max, float(values.max()))
+        vmax = float(values.max())
+        vsum = float(values.sum())
         # log2 bucket index: [0,1) -> 0, [1,2) -> 1, [2,4) -> 2, ...
         idx = np.zeros(values.shape, dtype=np.intp)
         pos = values >= 1.0
         idx[pos] = np.floor(np.log2(values[pos])).astype(np.intp) + 1
         np.clip(idx, 0, self.N_BUCKETS - 1, out=idx)
-        for i, c in zip(*np.unique(idx, return_counts=True)):
-            self.buckets[int(i)] += int(c)
+        unique_idx, unique_counts = np.unique(idx, return_counts=True)
+        # All numpy reductions above run unlocked; only the scalar
+        # accumulate into shared state is serialized.
+        with self._lock:
+            self.count += int(values.size)
+            self.total += vsum
+            self.min = min(self.min, vmin)
+            self.max = max(self.max, vmax)
+            for i, c in zip(unique_idx, unique_counts):
+                self.buckets[int(i)] += int(c)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> dict:
-        hi = max((i for i, c in enumerate(self.buckets) if c), default=-1)
-        return {
-            "type": "histogram",
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "mean": self.mean,
-            "buckets": self.buckets[: hi + 1],
-        }
+        with self._lock:  # a consistent (count, sum, buckets) snapshot
+            hi = max((i for i, c in enumerate(self.buckets) if c), default=-1)
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "mean": self.total / self.count if self.count else 0.0,
+                "buckets": self.buckets[: hi + 1],
+            }
 
 
 class MetricsRegistry:
-    """Create-or-get registry of named metrics."""
+    """Create-or-get registry of named metrics (thread-safe)."""
 
     def __init__(self) -> None:
         self._metrics: dict[str, object] = {}
+        self._lock = threading.Lock()
 
     def _get(self, name: str, cls):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = self._metrics[name] = cls(name)
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(metric).__name__}, not a {cls.__name__}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -157,20 +182,26 @@ class MetricsRegistry:
         return self._get(name, Histogram)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def as_dict(self) -> dict[str, dict]:
         """JSON-ready snapshot, ordered by metric name."""
-        return {name: self._metrics[name].to_dict() for name in self.names()}
+        with self._lock:
+            metrics = sorted(self._metrics.items())
+        return {name: metric.to_dict() for name, metric in metrics}
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
 
 _CURRENT = MetricsRegistry()

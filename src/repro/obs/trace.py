@@ -27,6 +27,7 @@ the explicit installation for you).
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -101,13 +102,21 @@ class _Span:
 
 
 class Tracer:
-    """Records nested spans; one instance per run/report."""
+    """Records nested spans; one instance per run/report.
+
+    The nested ``span()`` stack belongs to one owner thread (the run
+    loop); :meth:`record_span` and :meth:`absorb` — the entry points
+    concurrent request handlers and the pool use — are additionally
+    serialized by an internal lock, so a service's dispatch threads can
+    append pre-measured spans without corrupting the record list.
+    """
 
     enabled = True
 
     def __init__(self) -> None:
         self.records: list[SpanRecord] = []
         self._stack: list[int] = []
+        self._append_lock = threading.Lock()
         self._epoch = time.perf_counter()
         # Absolute wall clock at the same instant as ``_epoch``: the
         # cross-process anchor.  ``t0 + (epoch_ns - other.epoch_ns)/1e9``
@@ -157,19 +166,22 @@ class Tracer:
         e.g. the pool's task-queue wait intervals, reconstructed in the
         parent from worker-reported start stamps.  ``t0`` is on this
         tracer's epoch; returns the new record's index.
+
+        Thread-safe: may be called from concurrent dispatch threads.
         """
-        depth = self.records[parent].depth + 1 if parent >= 0 else 0
-        rec = SpanRecord(
-            name=name,
-            t0=t0,
-            wall_s=wall_s,
-            cpu_s=cpu_s,
-            depth=depth,
-            parent=parent,
-            attrs=dict(attrs or {}),
-        )
-        self.records.append(rec)
-        return len(self.records) - 1
+        with self._append_lock:
+            depth = self.records[parent].depth + 1 if parent >= 0 else 0
+            rec = SpanRecord(
+                name=name,
+                t0=t0,
+                wall_s=wall_s,
+                cpu_s=cpu_s,
+                depth=depth,
+                parent=parent,
+                attrs=dict(attrs or {}),
+            )
+            self.records.append(rec)
+            return len(self.records) - 1
 
     def absorb(
         self,
@@ -196,28 +208,29 @@ class Tracer:
         of the span at ``parent`` (never before this run's epoch) and
         descendants keep their offsets relative to their root.
         """
-        if epoch_ns is not None:
-            shift = (epoch_ns - self.epoch_ns) / 1e9
-        elif parent >= 0:
-            shift = self.records[parent].t0
-        else:
-            shift = 0.0
-        offset = len(self.records)
-        base_depth = self.records[parent].depth + 1 if parent >= 0 else 0
-        for d in records:
-            is_root = d["parent"] < 0
-            rec = SpanRecord(
-                name=d["name"],
-                t0=d["t0"] + shift,
-                wall_s=d["wall_s"],
-                cpu_s=d["cpu_s"],
-                depth=base_depth + d["depth"],
-                parent=parent if is_root else offset + d["parent"],
-                attrs=dict(d["attrs"]),
-            )
-            if attrs and is_root:
-                rec.attrs.update(attrs)
-            self.records.append(rec)
+        with self._append_lock:
+            if epoch_ns is not None:
+                shift = (epoch_ns - self.epoch_ns) / 1e9
+            elif parent >= 0:
+                shift = self.records[parent].t0
+            else:
+                shift = 0.0
+            offset = len(self.records)
+            base_depth = self.records[parent].depth + 1 if parent >= 0 else 0
+            for d in records:
+                is_root = d["parent"] < 0
+                rec = SpanRecord(
+                    name=d["name"],
+                    t0=d["t0"] + shift,
+                    wall_s=d["wall_s"],
+                    cpu_s=d["cpu_s"],
+                    depth=base_depth + d["depth"],
+                    parent=parent if is_root else offset + d["parent"],
+                    attrs=dict(d["attrs"]),
+                )
+                if attrs and is_root:
+                    rec.attrs.update(attrs)
+                self.records.append(rec)
 
     # -- consumption ------------------------------------------------------
 

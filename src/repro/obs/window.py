@@ -1,0 +1,145 @@
+"""Sliding-window request statistics for the live serving tier.
+
+Lifetime-cumulative counters answer "how much since boot"; an operator
+watching a live server needs "how much *right now*".  This module keeps
+a ring of one-second buckets and derives rolling windows from it:
+requests per second, error rate, and latency quantiles over the last
+1 / 10 / 60 seconds — the numbers ``/v1/healthz``, the Prometheus
+exposition, and ``repro-obs watch`` all surface.
+
+Design constraints, in order:
+
+* **off the hot path** — :meth:`RequestWindow.record` is one lock, a
+  few scalar adds, and (below the per-bucket cap) one list append;
+* **bounded memory** — the ring holds ``horizon_s`` buckets and each
+  bucket keeps at most ``max_samples_per_bucket`` latency samples (the
+  count/sum stay exact beyond the cap; quantiles become approximate
+  under extreme load, which is the right trade for a dashboard);
+* **testable** — the clock is injectable, so window semantics are
+  asserted with a fake clock instead of sleeps.
+
+Window semantics: a window of ``W`` seconds covers the current
+(partial) second plus the ``W - 1`` before it, so the freshest traffic
+always shows up; a 1-second window therefore reads "what arrived within
+the current wall-clock second so far".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["RequestWindow", "DEFAULT_WINDOWS", "percentile"]
+
+DEFAULT_WINDOWS = (1, 10, 60)
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, int(-(-q * len(sorted_values) // 1)))  # ceil(q * n)
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class _Bucket:
+    """One second of traffic; reused in place as the ring wraps."""
+
+    __slots__ = ("index", "count", "errors", "total_ms", "samples")
+
+    def __init__(self) -> None:
+        self.index = -1  # wall-clock second this bucket currently holds
+        self.count = 0
+        self.errors = 0
+        self.total_ms = 0.0
+        self.samples: list[float] = []
+
+    def reset(self, index: int) -> None:
+        self.index = index
+        self.count = 0
+        self.errors = 0
+        self.total_ms = 0.0
+        self.samples = []
+
+
+class RequestWindow:
+    """Thread-safe ring of per-second buckets with rolling-window stats."""
+
+    def __init__(
+        self,
+        horizon_s: int = 60,
+        *,
+        max_samples_per_bucket: int = 512,
+        clock=time.monotonic,
+    ) -> None:
+        if int(horizon_s) < 1:
+            raise ValueError(f"horizon_s must be >= 1, got {horizon_s}")
+        if int(max_samples_per_bucket) < 1:
+            raise ValueError(
+                f"max_samples_per_bucket must be >= 1, got {max_samples_per_bucket}"
+            )
+        self.horizon_s = int(horizon_s)
+        self.max_samples_per_bucket = int(max_samples_per_bucket)
+        self._clock = clock
+        self._ring = [_Bucket() for _ in range(self.horizon_s)]
+        self._lock = threading.Lock()
+
+    def _bucket_at(self, second: int) -> _Bucket:
+        bucket = self._ring[second % self.horizon_s]
+        if bucket.index != second:  # stale slot from a lap ago: recycle
+            bucket.reset(second)
+        return bucket
+
+    def record(self, ms: float, *, error: bool = False) -> None:
+        """Record one finished request (latency in ms) at "now"."""
+        second = int(self._clock())
+        with self._lock:
+            bucket = self._bucket_at(second)
+            bucket.count += 1
+            if error:
+                bucket.errors += 1
+            bucket.total_ms += float(ms)
+            if len(bucket.samples) < self.max_samples_per_bucket:
+                bucket.samples.append(float(ms))
+
+    def stats(self, window_s: int) -> dict:
+        """Rolling stats over the last ``window_s`` seconds (clamped to
+        the horizon): count, errors, rps, error_rate, mean/p50/p95/p99 ms."""
+        window_s = max(1, min(int(window_s), self.horizon_s))
+        now = int(self._clock())
+        lo = now - window_s  # include buckets with lo < index <= now
+        count = errors = 0
+        total_ms = 0.0
+        samples: list[float] = []
+        with self._lock:
+            for bucket in self._ring:
+                if lo < bucket.index <= now and bucket.count:
+                    count += bucket.count
+                    errors += bucket.errors
+                    total_ms += bucket.total_ms
+                    samples.extend(bucket.samples)
+        samples.sort()
+        return {
+            "window_s": window_s,
+            "count": count,
+            "errors": errors,
+            "rps": count / window_s,
+            "error_rate": errors / count if count else 0.0,
+            "mean_ms": total_ms / count if count else 0.0,
+            "p50_ms": percentile(samples, 0.50),
+            "p95_ms": percentile(samples, 0.95),
+            "p99_ms": percentile(samples, 0.99),
+        }
+
+    def snapshot(self, windows: tuple[int, ...] = DEFAULT_WINDOWS) -> dict:
+        """``{"1s": stats(1), "10s": stats(10), "60s": stats(60)}``."""
+        return {f"{int(w)}s": self.stats(w) for w in windows}
+
+    def export_gauges(self, registry, prefix: str = "service.window") -> None:
+        """Write the snapshot into ``registry`` as flat gauges
+        (``service.window.10s.rps``, ``….p95_ms``, …) so the window
+        rides the JSON snapshot and Prometheus exposition unchanged."""
+        for label, stats in self.snapshot().items():
+            for key in ("count", "errors", "rps", "error_rate",
+                        "mean_ms", "p50_ms", "p95_ms", "p99_ms"):
+                registry.gauge(f"{prefix}.{label}.{key}").set(stats[key])

@@ -27,6 +27,7 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
 
 __all__ = ["Backpressure", "QueryBroker"]
 
@@ -75,13 +76,17 @@ class QueryBroker:
         with self._lock:
             return self._depth
 
-    def submit(self, key: str, fn) -> tuple[Future, bool]:
+    def submit(self, key: str, fn, *, request_id: str | None = None) -> tuple[Future, bool]:
         """Admit (or join) the computation for ``key``.
 
         Returns ``(future, coalesced)``: ``coalesced`` is True when an
         identical query was already in flight and this call joined it.
         Raises :class:`Backpressure` instead of admitting beyond
         ``max_queue``.
+
+        ``request_id`` (when given) tags the admitting request's
+        queue-wait span, so a trace answers "how long did request X sit
+        in the dispatch queue" — joiners share the admitter's span.
 
         ``fn`` must perform its own result publication (e.g. write the
         result cache) *before returning* — the in-flight key is retired
@@ -99,14 +104,24 @@ class QueryBroker:
             self._depth += 1
             get_metrics().gauge("service.queue.depth").set(self._depth)
             submitted = time.perf_counter()
-            future = self._executor.submit(self._run, key, fn, submitted)
+            future = self._executor.submit(self._run, key, fn, submitted, request_id)
             self._inflight[key] = future
             return future, False
 
-    def _run(self, key: str, fn, submitted: float):
-        get_metrics().histogram("service.queue.wait_ms").observe(
-            (time.perf_counter() - submitted) * 1e3
-        )
+    def _run(self, key: str, fn, submitted: float, request_id: str | None = None):
+        wait_s = time.perf_counter() - submitted
+        get_metrics().histogram("service.queue.wait_ms").observe(wait_s * 1e3)
+        tracer = get_tracer()
+        if tracer.enabled:
+            attrs = {"key": key[:12]}
+            if request_id is not None:
+                attrs["request_id"] = request_id
+            tracer.record_span(
+                "service.queue.wait",
+                t0=tracer.now() - wait_s,
+                wall_s=wait_s,
+                attrs=attrs,
+            )
         try:
             return fn()
         finally:

@@ -4,7 +4,8 @@ Usage::
 
     repro-serve --port 8077 --workers 4          # start the query service
     repro-serve --table-dir /var/cache/repro-ica # warm-startable ICA tables
-    REPRO_HTTP_LOG=1 repro-serve                 # per-request access log
+    REPRO_ACCESS_LOG=access.log repro-serve      # JSON access log to a file
+    REPRO_ACCESS_LOG=0 repro-serve               # silence the access log
 
     repro-loadgen --url http://127.0.0.1:8077 \\
         --model head --resolution 32 --pivot 0 -30 5 \\
@@ -13,14 +14,19 @@ Usage::
 The load generator replays ``-n`` queries from ``-c`` concurrent client
 threads, cycling through ``--distinct`` pivot variants — so identical
 requests land in flight together (exercising coalescing) and repeat
-after completion (exercising the result cache).  It reports throughput
-and latency percentiles, and ``--json`` writes a standard
-:mod:`repro.obs.report` run report, so serving performance is gated by
-``repro-bench compare`` and inspected by ``repro-obs diff`` exactly like
-bench runs.
+after completion (exercising the result cache).  It reports throughput,
+latency percentiles, and per-status-code counts (the first non-200
+response body is kept verbatim for diagnosis), and ``--json`` writes a
+standard :mod:`repro.obs.report` run report, so serving performance is
+gated by ``repro-bench compare`` and inspected by ``repro-obs diff``
+exactly like bench runs.  ``--prometheus-check`` additionally scrapes
+``/v1/metrics?format=prometheus`` after the run, validates the
+exposition with :func:`repro.obs.expo.parse_prometheus`, and asserts it
+agrees with the JSON snapshot — the end-to-end proof that a scraper
+sees the same numbers the report pipeline does.
 
-Exit codes: ``0`` success, ``1`` the load run saw failed requests,
-``2`` usage errors.
+Exit codes: ``0`` success, ``1`` the load run saw failed requests (or
+the Prometheus parity check failed), ``2`` usage errors.
 """
 
 from __future__ import annotations
@@ -112,7 +118,14 @@ def _main_serve(argv: list[str]) -> int:
     )
     server = serve(service, args.host, args.port)
     host, port = server.server_address[:2]
-    print(f"repro-serve listening on http://{host}:{port} (workers={workers})")
+    from repro.obs.log import get_access_log
+
+    log = get_access_log()
+    log_dest = log.path or "stderr" if log.enabled else "off"
+    print(
+        f"repro-serve listening on http://{host}:{port} "
+        f"(workers={workers}, access log: {log_dest})"
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -144,6 +157,34 @@ def _http_json(url: str, body: dict | None = None, timeout: float = 300.0):
         except Exception:
             payload = {"error": str(exc)}
         return exc.code, payload, dict(exc.headers or {})
+
+
+def _http_text(url: str, timeout: float = 60.0) -> tuple[int, str]:
+    """One raw-text GET (the Prometheus exposition is not JSON)."""
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def _prometheus_parity_problems(base: str) -> list[str]:
+    """Scrape both encodings of ``/v1/metrics`` and compare them.
+
+    Returns human-readable problems (empty = the exposition parses
+    cleanly and agrees with the JSON snapshot; sliding-window gauges are
+    checked for presence only, since each scrape recomputes them).
+    """
+    from repro.obs.expo import parse_prometheus, snapshot_parity_problems
+
+    status, snapshot, _ = _http_json(f"{base}/v1/metrics")
+    if status != 200:
+        return [f"JSON metrics scrape failed ({status})"]
+    status, text = _http_text(f"{base}/v1/metrics?format=prometheus")
+    if status != 200:
+        return [f"prometheus scrape failed ({status})"]
+    try:
+        families = parse_prometheus(text)
+    except ValueError as exc:
+        return [f"exposition does not parse: {exc}"]
+    return snapshot_parity_problems(snapshot, families)
 
 
 def _percentile(sorted_ms: list[float], q: float) -> float:
@@ -190,6 +231,11 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     load.add_argument("--workers", type=int, default=0, help="per-query workers (0 = server default)")
     load.add_argument("--retries", type=int, default=8, help="max retries per request on 503")
     parser.add_argument("--json", metavar="PATH", default=None, help="write a run report")
+    parser.add_argument(
+        "--prometheus-check", action="store_true",
+        help="after the run, scrape /v1/metrics?format=prometheus, validate "
+        "the exposition, and assert parity with the JSON snapshot",
+    )
     args = parser.parse_args(argv)
 
     base = args.url.rstrip("/")
@@ -252,10 +298,12 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     ok = 0
     errors = 0
     retries_used = 0
+    status_counts: dict[int, int] = {}
+    first_error: dict | None = None  # {"status": int, "body": str} of the first non-200
     lock = threading.Lock()
 
     def one(i: int) -> None:
-        nonlocal ok, errors, retries_used
+        nonlocal ok, errors, retries_used, first_error
         body = variants[i % len(variants)]
         t0 = time.perf_counter()
         for attempt in range(args.retries + 1):
@@ -263,16 +311,23 @@ def main_loadgen(argv: list[str] | None = None) -> int:
             if status == 503 and attempt < args.retries:
                 with lock:
                     retries_used += 1
+                    status_counts[503] = status_counts.get(503, 0) + 1
                 time.sleep(float(payload.get("retry_after_s", 0.2)))
                 continue
             break
         elapsed_ms = (time.perf_counter() - t0) * 1e3
         with lock:
+            status_counts[status] = status_counts.get(status, 0) + 1
             if status == 200:
                 ok += 1
                 latencies_ms.append(elapsed_ms)
             else:
                 errors += 1
+                if first_error is None:
+                    first_error = {
+                        "status": int(status),
+                        "body": json.dumps(payload)[:500],
+                    }
 
     wall0 = time.perf_counter()
     with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
@@ -304,6 +359,15 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     )
     print(f"latency ms: p50 {p50:.1f}  p95 {p95:.1f}  p99 {p99:.1f}  mean {mean_ms:.1f}")
     print(f"cache hit rate {hit_rate:.0%} ({hits:g} hits), {coalesced:g} coalesced")
+    print(
+        "status codes: "
+        + "  ".join(f"{code}×{n}" for code, n in sorted(status_counts.items()))
+    )
+    if first_error is not None:
+        print(
+            f"first error ({first_error['status']}): {first_error['body']}",
+            file=sys.stderr,
+        )
 
     if args.json is not None:
         from repro.obs.metrics import MetricsRegistry
@@ -321,6 +385,10 @@ def main_loadgen(argv: list[str] | None = None) -> int:
         reg.counter("loadgen.mean_ms").inc(mean_ms)
         reg.counter("loadgen.cache_hits").inc(max(0.0, hits))
         reg.counter("loadgen.coalesced").inc(max(0.0, coalesced))
+        # Per-status-code response counts (retried 503s included, so the
+        # sum over codes is the number of responses seen, not -n).
+        for code, count in sorted(status_counts.items()):
+            reg.counter(f"loadgen.status.{code}").inc(count)
         reg.gauge("loadgen.rps").set(rps)
         reg.gauge("loadgen.cache_hit_rate").set(hit_rate)
         reg.histogram("loadgen.latency_ms").observe_many(latencies_ms or [0.0])
@@ -336,6 +404,8 @@ def main_loadgen(argv: list[str] | None = None) -> int:
                 "grid": list(args.grid),
                 "method": args.method,
                 "workers": args.workers,
+                "status_counts": {str(k): v for k, v in sorted(status_counts.items())},
+                "first_error": first_error,
             },
             results=[{
                 "exp_id": "loadgen",
@@ -357,7 +427,18 @@ def main_loadgen(argv: list[str] | None = None) -> int:
             return 2
         print(f"[report written to {args.json}]")
 
-    return 1 if errors else 0
+    parity_failed = False
+    if args.prometheus_check:
+        problems = _prometheus_parity_problems(base)
+        if problems:
+            parity_failed = True
+            print(f"prometheus parity check FAILED ({len(problems)}):", file=sys.stderr)
+            for problem in problems[:20]:
+                print(f"  {problem}", file=sys.stderr)
+        else:
+            print("prometheus parity check OK")
+
+    return 1 if errors or parity_failed else 0
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from repro.cd.traversal import TraversalConfig, run_cd
 from repro.engine.workspace import Workspace, use_workspace
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
+from repro.obs.window import RequestWindow
 from repro.service.batching import QueryBroker
 from repro.service.cache import ResultCache
 from repro.service.registry import SceneRegistry, UnknownSceneError
@@ -176,11 +177,17 @@ class QueryResult:
     payload: dict  # the computed (and cached) result data
     cached: bool  # served from the result cache, zero traversals
     coalesced: bool  # joined an identical in-flight computation
+    request_id: str | None = None  # identity of the request this answered
 
     @property
     def accessible(self) -> np.ndarray:
         """The merged/queried accessibility map, ``(m, n)`` bool."""
         return self.payload["map"]
+
+    @property
+    def served(self) -> str:
+        """Which tier answered: ``"cache"``/``"coalesced"``/``"computed"``."""
+        return "cache" if self.cached else "coalesced" if self.coalesced else "computed"
 
     def to_dict(self, *, include_map: bool = True) -> dict:
         out = {k: v for k, v in self.payload.items() if k != "map"}
@@ -188,6 +195,8 @@ class QueryResult:
             out["map"] = self.payload["map"].astype(int).tolist()
         out["cached"] = self.cached
         out["coalesced"] = self.coalesced
+        if self.request_id is not None:
+            out["request_id"] = self.request_id
         return out
 
 
@@ -220,6 +229,10 @@ class Service:
             max_queue=max_queue,
             retry_after_s=retry_after_s,
         )
+        # Rolling request statistics (RPS / error rate / latency
+        # quantiles).  The service owns the window; front ends feed it
+        # per finished request, so every transport shares one view.
+        self.window = RequestWindow()
         self._pools: dict[int, object] = {}
         self._pool_lock = threading.Lock()
         # One reusable frontier-engine arena per dispatch thread: serial
@@ -236,8 +249,20 @@ class Service:
 
     # -- queries ----------------------------------------------------------
 
-    def query(self, spec: QuerySpec, *, timeout: float | None = None) -> QueryResult:
+    def query(
+        self,
+        spec: QuerySpec,
+        *,
+        timeout: float | None = None,
+        request_id: str | None = None,
+    ) -> QueryResult:
         """Answer one query through cache -> coalescing -> computation.
+
+        ``request_id`` is the caller's request identity (the HTTP front
+        end passes the ``X-Request-Id`` it honored or minted); it is
+        threaded into the broker's queue-wait span, the computation's
+        ``service.request`` span, and the returned result, so one ID
+        correlates the access-log line, the trace, and the response.
 
         Raises :class:`~repro.service.batching.Backpressure` when the
         dispatch queue is full, :class:`UnknownSceneError` for an
@@ -251,11 +276,17 @@ class Service:
         payload = self.cache.get(key)
         if payload is not None:
             self._count_request(served="cache")
-            return QueryResult(payload=payload, cached=True, coalesced=False)
-        future, coalesced = self.broker.submit(key, lambda: self._compute(spec, key))
+            return QueryResult(
+                payload=payload, cached=True, coalesced=False, request_id=request_id
+            )
+        future, coalesced = self.broker.submit(
+            key, lambda: self._compute(spec, key, request_id), request_id=request_id
+        )
         payload = future.result(timeout=timeout)
         self._count_request(served="coalesced" if coalesced else "computed")
-        return QueryResult(payload=payload, cached=False, coalesced=coalesced)
+        return QueryResult(
+            payload=payload, cached=False, coalesced=coalesced, request_id=request_id
+        )
 
     def _count_request(self, served: str) -> None:
         metrics = get_metrics()
@@ -277,7 +308,7 @@ class Service:
                 pool = self._pools[workers] = WorkerPool(workers)
             return pool
 
-    def _compute(self, spec: QuerySpec, key: str) -> dict:
+    def _compute(self, spec: QuerySpec, key: str, request_id: str | None = None) -> dict:
         """Run the actual CD work for one admitted query (broker thread).
 
         Writes the result cache *before returning* — the broker retires
@@ -365,17 +396,23 @@ class Service:
         if tracer.enabled:
             # record_span, not span(): broker threads must not touch the
             # tracer's nesting stack, which belongs to whoever owns it.
+            attrs = {
+                "method": method.name,
+                "kind": payload["kind"],
+                "scene": digest[:12],
+                "orientations": grid.size,
+                "workers": workers,
+            }
+            if request_id is not None:
+                # The ID of the request that *initiated* the computation;
+                # coalesced joiners share this span (and this ID ties it
+                # back to that request's access-log line).
+                attrs["request_id"] = request_id
             tracer.record_span(
                 "service.request",
                 t0=tracer.now() - elapsed,
                 wall_s=elapsed,
-                attrs={
-                    "method": method.name,
-                    "kind": payload["kind"],
-                    "scene": digest[:12],
-                    "orientations": grid.size,
-                    "workers": workers,
-                },
+                attrs=attrs,
             )
         self.cache.put(key, payload, nbytes=payload["map"].nbytes + 512)
         return payload

@@ -12,10 +12,23 @@ Endpoints (all JSON bodies/responses):
   concurrent queries coalesce; finished ones are served from the result
   cache; a full dispatch queue answers ``503`` with a ``Retry-After``
   header instead of queueing unboundedly.
-* ``GET /v1/healthz`` — liveness + a small status snapshot.
-* ``GET /v1/metrics`` — the ambient :mod:`repro.obs.metrics` registry as
-  JSON (cache hit/miss/eviction counters, queue depth, request
-  latencies, CD counters — everything ``repro-obs diff`` understands).
+* ``GET /v1/healthz`` — liveness + a small status snapshot, including
+  the sliding-window request stats (rolling 1s/10s/60s RPS, error rate,
+  latency quantiles).
+* ``GET /v1/metrics`` — the ambient :mod:`repro.obs.metrics` registry.
+  JSON by default (everything ``repro-obs diff`` understands);
+  ``?format=prometheus`` renders the same snapshot in Prometheus text
+  exposition format for scrapers (:mod:`repro.obs.expo`).
+
+Request-scoped observability: every request carries an ID — an inbound
+``X-Request-Id`` header is honored, otherwise one is minted — echoed in
+the response header (and the ``/v1/cd`` body), threaded through
+``Service.query()`` into the queue-wait and ``service.request`` trace
+spans, and stamped on the structured JSON access-log line written per
+request (:mod:`repro.obs.log`, ``REPRO_ACCESS_LOG``).  Unexpected
+handler exceptions answer a JSON ``500`` carrying that ID (and bump
+``service.errors`` / ``service.errors.<route>.<code>``) instead of
+leaking a stdlib traceback over a dead connection.
 
 The server is a :class:`http.server.ThreadingHTTPServer`: cheap,
 dependency-free, and sufficient because request threads only parse JSON
@@ -29,11 +42,16 @@ import base64
 import io
 import json
 import os
+import time
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
 from repro.cd.scene import Scene
+from repro.obs.expo import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
+from repro.obs.expo import render_prometheus
+from repro.obs.log import get_access_log, new_request_id
 from repro.obs.metrics import get_metrics
 from repro.service.batching import Backpressure
 from repro.service.core import QuerySpec, Service
@@ -41,6 +59,20 @@ from repro.service.registry import UnknownSceneError
 from repro.tool.tool import Tool, ball_end_mill, paper_tool
 
 __all__ = ["scene_from_request", "tool_from_spec", "ServiceHTTPServer", "serve"]
+
+# Routes whose own traffic must not pollute the request window (health
+# probes and scrapers poll them constantly).
+_UNWINDOWED_ROUTES = frozenset({"/v1/healthz", "/v1/metrics"})
+
+_KNOWN_ROUTES = frozenset({"/v1/scenes", "/v1/cd", "/v1/healthz", "/v1/metrics"})
+
+
+def _route_label(path: str) -> str:
+    """A bounded-cardinality metric label for a request path
+    (``/v1/cd`` -> ``v1.cd``; anything unknown -> ``other``)."""
+    if path in _KNOWN_ROUTES:
+        return path.strip("/").replace("/", ".")
+    return "other"
 
 _MODELS = ("head", "candle_holder", "turbine", "teapot")
 
@@ -110,14 +142,26 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing ---------------------------------------------------------
 
     def log_message(self, fmt, *args) -> None:  # noqa: A003 - stdlib hook
+        # The structured JSON access log (repro.obs.log) supersedes the
+        # stdlib per-request line; REPRO_HTTP_LOG=1 re-enables the latter.
         if os.environ.get("REPRO_HTTP_LOG", "").strip() == "1":
             super().log_message(fmt, *args)
 
     def _send_json(self, code: int, obj, *, headers: dict | None = None) -> None:
         data = json.dumps(obj).encode("utf-8")
+        self._send_bytes(code, data, "application/json", headers)
+
+    def _send_text(self, code: int, text: str, content_type: str) -> None:
+        self._send_bytes(code, text.encode("utf-8"), content_type, None)
+
+    def _send_bytes(
+        self, code: int, data: bytes, content_type: str, headers: dict | None
+    ) -> None:
+        self._status = code
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Request-Id", self._request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -132,24 +176,87 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return body
 
-    # -- routes -----------------------------------------------------------
+    # -- request-scoped dispatch ------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("GET", self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("POST", self._route_post)
+
+    def _handle(self, verb: str, route_fn) -> None:
+        """Wrap one request: ID, timing, error fence, window, access log."""
+        t0 = time.perf_counter()
+        self._request_id = (
+            (self.headers.get("X-Request-Id") or "").strip() or new_request_id()
+        )
+        self._status: int | None = None
+        self._log_fields: dict = {}
+        path = urllib.parse.urlsplit(self.path).path
+        try:
+            route_fn(path)
+        except Exception as exc:  # the fence: no dead threads, no bare tracebacks
+            metrics = get_metrics()
+            metrics.counter("service.errors").inc()
+            metrics.counter(f"service.errors.{_route_label(path)}.500").inc()
+            self._log_fields["error"] = f"{type(exc).__name__}: {exc}"
+            # The connection may hold a half-written response; don't reuse it.
+            self.close_connection = True
+            if self._status is None:
+                try:
+                    self._send_json(500, {
+                        "error": f"internal error: {type(exc).__name__}: {exc}",
+                        "request_id": self._request_id,
+                    })
+                except OSError:
+                    pass  # client already gone; the log line still records it
+        finally:
+            ms = (time.perf_counter() - t0) * 1e3
+            status = self._status if self._status is not None else 500
+            if path not in _UNWINDOWED_ROUTES:
+                self.server.service.window.record(ms, error=status >= 500)
+            get_access_log().request(
+                id=self._request_id,
+                route=path,
+                method=verb,
+                status=status,
+                ms=ms,
+                **self._log_fields,
+            )
+
+    # -- routes -----------------------------------------------------------
+
+    def _route_get(self, path: str) -> None:
         service = self.server.service
-        if self.path == "/v1/healthz":
+        if path == "/v1/healthz":
             self._send_json(200, {
                 "status": "ok",
                 "uptime_s": service.uptime_s,
                 "scenes": len(service.registry),
                 "cache_entries": len(service.cache),
                 "queue_depth": service.broker.depth,
+                "window": service.window.snapshot(),
             })
-        elif self.path == "/v1/metrics":
-            self._send_json(200, get_metrics().as_dict())
+        elif path == "/v1/metrics":
+            params = urllib.parse.parse_qs(urllib.parse.urlsplit(self.path).query)
+            fmt = params.get("format", ["json"])[-1]
+            # Refresh the window gauges so both encodings carry the
+            # rolling stats a scraper can alert on.
+            service.window.export_gauges(get_metrics())
+            if fmt == "prometheus":
+                self._send_text(
+                    200, render_prometheus(get_metrics()), _PROMETHEUS_CONTENT_TYPE
+                )
+            elif fmt == "json":
+                self._send_json(200, get_metrics().as_dict())
+            else:
+                self._send_json(
+                    400, {"error": f"unknown format {fmt!r} (json or prometheus)"}
+                )
         else:
-            self._send_json(404, {"error": f"no route {self.path!r}"})
+            self._send_json(404, {"error": f"no route {path!r}"})
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _route_post(self, path: str) -> None:
         service = self.server.service
         try:
             body = self._read_json()
@@ -157,13 +264,14 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": str(exc)})
             return
 
-        if self.path == "/v1/scenes":
+        if path == "/v1/scenes":
             try:
                 scene = scene_from_request(body)
             except (ValueError, OSError) as exc:
                 self._send_json(400, {"error": str(exc)})
                 return
             digest = service.register_scene(scene)
+            self._log_fields["scene"] = digest[:12]
             self._send_json(200, {
                 "scene": digest,
                 "depth": scene.tree.depth,
@@ -171,28 +279,31 @@ class _Handler(BaseHTTPRequestHandler):
                 "pivot": scene.pivot.tolist(),
                 "tool": scene.tool.name,
             })
-        elif self.path == "/v1/cd":
+        elif path == "/v1/cd":
             include_map = bool(body.pop("include_map", True))
             try:
                 spec = QuerySpec.from_dict(body)
             except ValueError as exc:
                 self._send_json(400, {"error": str(exc)})
                 return
+            self._log_fields["scene"] = spec.scene[:12]
             try:
-                result = service.query(spec)
+                result = service.query(spec, request_id=self._request_id)
             except UnknownSceneError:
                 self._send_json(404, {"error": f"unknown scene {spec.scene!r}"})
                 return
             except Backpressure as exc:
+                self._log_fields["served"] = "rejected"
                 self._send_json(
                     503,
                     {"error": str(exc), "retry_after_s": exc.retry_after_s},
                     headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
                 )
                 return
+            self._log_fields["served"] = result.served
             self._send_json(200, result.to_dict(include_map=include_map))
         else:
-            self._send_json(404, {"error": f"no route {self.path!r}"})
+            self._send_json(404, {"error": f"no route {path!r}"})
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):

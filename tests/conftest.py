@@ -21,6 +21,18 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _quiet_access_log():
+    # The serving tier's access log defaults to stderr; silence the
+    # ambient one so server-backed tests don't spray JSON lines over the
+    # pytest progress output.  Tests that assert on log lines install
+    # their own via ``use_access_log``.
+    from repro.obs.log import NULL_ACCESS_LOG, set_access_log
+
+    set_access_log(NULL_ACCESS_LOG)
+    yield
+
+
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(12345)

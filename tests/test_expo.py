@@ -1,0 +1,196 @@
+"""Prometheus exposition: golden format, escaping, parser, parity.
+
+The renderer is a pure function of the registry's JSON snapshot, so the
+golden tests pin the exact byte-level format (Prometheus text format is
+whitespace-sensitive) and the round-trip tests prove the shipped parser
+accepts everything the renderer emits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.expo import (
+    bucket_upper_bounds,
+    escape_help,
+    escape_label_value,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+    snapshot_parity_problems,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestNames:
+    def test_dots_become_underscores(self):
+        assert prometheus_name("service.cache.hits") == "service_cache_hits"
+
+    def test_counter_gets_total_suffix(self):
+        assert prometheus_name("service.requests", "counter") == "service_requests_total"
+        assert prometheus_name("x_total", "counter") == "x_total"
+
+    def test_invalid_chars_and_leading_digit(self):
+        assert prometheus_name("cd.per-thread checks") == "cd_per_thread_checks"
+        assert prometheus_name("9lives") == "_9lives"
+        assert prometheus_name("") == "_"
+
+    def test_colon_preserved(self):
+        assert prometheus_name("ns:metric") == "ns:metric"
+
+
+class TestEscaping:
+    def test_label_value_escapes(self):
+        assert escape_label_value('a"b') == 'a\\"b'
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value("a\nb") == "a\\nb"
+
+    def test_help_escapes_backslash_and_newline_only(self):
+        assert escape_help('say "hi"\n') == 'say "hi"\\n'
+        assert escape_help("a\\b") == "a\\\\b"
+
+
+class TestRender:
+    def test_counter_golden(self):
+        reg = MetricsRegistry()
+        reg.counter("service.requests").inc(7)
+        text = render_prometheus(reg)
+        assert text == (
+            "# HELP service_requests_total repro metric service.requests\n"
+            "# TYPE service_requests_total counter\n"
+            "service_requests_total 7\n"
+        )
+
+    def test_gauge_golden_and_none_skipped(self):
+        reg = MetricsRegistry()
+        reg.gauge("service.queue.depth").set(3)
+        reg.gauge("unset.gauge")  # value None: no exposition encoding
+        reg.gauge("text.gauge").set("not-a-number")
+        text = render_prometheus(reg, include_help=False)
+        assert text == (
+            "# TYPE service_queue_depth gauge\n"
+            "service_queue_depth 3\n"
+        )
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("service.request.ms")
+        hist.observe_many([0.5, 1.5, 3.0, 3.5, 100.0])
+        text = render_prometheus(reg, include_help=False)
+        lines = text.splitlines()
+        assert "# TYPE service_request_ms histogram" in lines
+        # buckets: [0,1)=1, [1,2)=1, [2,4)=2, ... [64,128)=1
+        assert 'service_request_ms_bucket{le="1"} 1' in lines
+        assert 'service_request_ms_bucket{le="2"} 2' in lines
+        assert 'service_request_ms_bucket{le="4"} 4' in lines
+        assert 'service_request_ms_bucket{le="128"} 5' in lines
+        assert 'service_request_ms_bucket{le="+Inf"} 5' in lines
+        assert "service_request_ms_count 5" in lines
+        # _sum carries the exact total
+        (sum_line,) = [l for l in lines if l.startswith("service_request_ms_sum")]
+        assert float(sum_line.split()[-1]) == pytest.approx(108.5)
+        # cumulative counts never decrease
+        bucket_counts = [
+            int(l.rsplit(" ", 1)[1]) for l in lines if "_bucket{" in l
+        ]
+        assert bucket_counts == sorted(bucket_counts)
+
+    def test_empty_histogram_still_well_formed(self):
+        reg = MetricsRegistry()
+        reg.histogram("empty.ms")
+        text = render_prometheus(reg, include_help=False)
+        assert 'empty_ms_bucket{le="+Inf"} 0' in text
+        assert "empty_ms_count 0" in text
+
+    def test_bucket_upper_bounds(self):
+        assert bucket_upper_bounds(4) == [1.0, 2.0, 4.0, 8.0]
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_accepts_snapshot_dict(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(1)
+        assert render_prometheus(reg.as_dict()) == render_prometheus(reg)
+
+
+class TestParse:
+    def test_roundtrip_values(self):
+        reg = MetricsRegistry()
+        reg.counter("cd.total_checks").inc(12345)
+        reg.gauge("pool.utilization").set(0.875)
+        reg.histogram("lat.ms").observe_many([0.2, 5.0, 9.0])
+        families = parse_prometheus(render_prometheus(reg))
+        assert families["cd_total_checks_total"]["type"] == "counter"
+        ((_, labels, value),) = families["cd_total_checks_total"]["samples"]
+        assert labels == {} and value == 12345
+        ((_, _, util),) = families["pool_utilization"]["samples"]
+        assert util == pytest.approx(0.875)
+        hist = families["lat_ms"]
+        assert hist["type"] == "histogram"
+        by_name = {}
+        for sample, labels, value in hist["samples"]:
+            by_name.setdefault(sample, []).append((labels, value))
+        assert ({"le": "+Inf"}, 3.0) in by_name["lat_ms_bucket"]
+        assert by_name["lat_ms_count"] == [({}, 3.0)]
+        assert by_name["lat_ms_sum"][0][1] == pytest.approx(14.2)
+
+    def test_parses_inf_and_escaped_labels(self):
+        families = parse_prometheus(
+            '# TYPE weird gauge\nweird{path="C:\\\\a\\nb\\"q"} +Inf\n'
+        )
+        ((_, labels, value),) = families["weird"]["samples"]
+        assert labels == {"path": 'C:\\a\nb"q'}
+        assert math.isinf(value)
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus("this is not a metric line at all!\n")
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_prometheus('m{le=unquoted} 1\n')
+
+    def test_help_and_timestamp_tolerated(self):
+        families = parse_prometheus(
+            "# HELP m some help text\n# TYPE m counter\nm 4 1700000000000\n"
+        )
+        assert families["m"]["help"] == "some help text"
+        assert families["m"]["samples"][0][2] == 4.0
+
+
+class TestParity:
+    def _snapshot_and_families(self):
+        reg = MetricsRegistry()
+        reg.counter("service.requests").inc(9)
+        reg.gauge("service.queue.depth").set(0)
+        reg.histogram("service.request.ms").observe_many([1.0, 2.0, 3.0])
+        snapshot = reg.as_dict()
+        families = parse_prometheus(render_prometheus(reg))
+        return snapshot, families
+
+    def test_parity_ok(self):
+        snapshot, families = self._snapshot_and_families()
+        assert snapshot_parity_problems(snapshot, families) == []
+
+    def test_counter_mismatch_flagged(self):
+        snapshot, families = self._snapshot_and_families()
+        snapshot["service.requests"]["value"] = 10
+        problems = snapshot_parity_problems(snapshot, families)
+        assert any("service.requests" in p for p in problems)
+
+    def test_missing_family_flagged(self):
+        snapshot, families = self._snapshot_and_families()
+        del families["service_request_ms"]
+        problems = snapshot_parity_problems(snapshot, families)
+        assert any("histogram family" in p for p in problems)
+
+    def test_volatile_prefix_checked_for_presence_only(self):
+        reg = MetricsRegistry()
+        reg.gauge("service.window.10s.rps").set(5.0)
+        snapshot = reg.as_dict()
+        families = parse_prometheus(render_prometheus(reg))
+        snapshot["service.window.10s.rps"]["value"] = 99.0  # moved between scrapes
+        assert snapshot_parity_problems(snapshot, families) == []
+        # ... but absence is still a problem
+        assert snapshot_parity_problems(snapshot, {}) != []

@@ -430,3 +430,148 @@ class TestCli:
 
         assert main(["table2", "--scale", "smoke", "--trace"]) == 0
         assert "trace summary" in capsys.readouterr().err
+
+
+class TestThreadSafety:
+    """Regression tests for lost updates under the serving tier's threads.
+
+    ThreadingHTTPServer dispatches one thread per connection, so every
+    metric object is hammered concurrently in production.  A bare
+    ``self.value += n`` is a read-modify-write that drops increments under
+    the GIL's preemption; these tests fail reliably without the locks.
+    """
+
+    def test_counter_hammered_from_8_threads(self):
+        import threading
+
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 10_000
+
+        def hammer():
+            c = reg.counter("hot")
+            for _ in range(per_thread):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert reg.counter("hot").value == n_threads * per_thread
+
+    def test_histogram_concurrent_observes(self):
+        import threading
+
+        reg = MetricsRegistry()
+        n_threads, per_thread = 8, 2_000
+
+        def hammer(seed):
+            h = reg.histogram("lat")
+            h.observe_many(np.full(per_thread // 2, float(seed + 1)))
+            for _ in range(per_thread // 2):
+                h.observe(float(seed + 1))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        h = reg.histogram("lat")
+        assert h.count == n_threads * per_thread
+        assert sum(h.to_dict()["buckets"]) == h.count
+
+    def test_registry_create_or_get_race_yields_one_object(self):
+        import threading
+
+        reg = MetricsRegistry()
+        barrier = threading.Barrier(8)
+        seen = []
+        lock = threading.Lock()
+
+        def create():
+            barrier.wait()
+            c = reg.counter("contested")
+            with lock:
+                seen.append(c)
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is seen[0] for c in seen)
+
+
+class TestAccessLog:
+    def test_writes_json_lines_to_path(self, tmp_path):
+        from repro.obs.log import AccessLog
+
+        path = tmp_path / "access.log"
+        log = AccessLog(path=str(path))
+        try:
+            log.request(
+                id="abc123", route="/v1/cd", method="POST", status=200, ms=12.5,
+                served="computed", scene=None,
+            )
+            log.request(id="def456", route="/v1/healthz", method="GET", status=200, ms=0.3)
+        finally:
+            log.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [l["id"] for l in lines] == ["abc123", "def456"]
+        assert lines[0]["served"] == "computed"
+        assert "scene" not in lines[0]  # None extras are dropped
+        assert lines[0]["status"] == 200 and lines[0]["ms"] == 12.5
+        assert "ts" in lines[0]
+
+    def test_stderr_resolved_dynamically(self, capsys):
+        # ``sys.stderr`` must be looked up at write time, not captured at
+        # construction — otherwise pytest's capture (and any stream
+        # redirection in a long-lived server) would be bypassed.
+        from repro.obs.log import AccessLog
+
+        AccessLog().request(id="y", route="/", method="GET", status=200, ms=1.0)
+        line = capsys.readouterr().err.strip().splitlines()[-1]
+        assert json.loads(line)["id"] == "y"
+
+    def test_env_control(self, monkeypatch, tmp_path):
+        from repro.obs.log import NullAccessLog, access_log_from_env
+
+        monkeypatch.setenv("REPRO_ACCESS_LOG", "0")
+        assert isinstance(access_log_from_env(), NullAccessLog)
+        monkeypatch.setenv("REPRO_ACCESS_LOG", "off")
+        assert isinstance(access_log_from_env(), NullAccessLog)
+        monkeypatch.delenv("REPRO_ACCESS_LOG")
+        log = access_log_from_env()
+        assert log.enabled and log.path is None  # default: stderr
+        target = tmp_path / "a.log"
+        monkeypatch.setenv("REPRO_ACCESS_LOG", str(target))
+        log = access_log_from_env()
+        try:
+            assert log.enabled and log.path == str(target)
+        finally:
+            log.close()
+
+    def test_null_log_is_inert(self):
+        from repro.obs.log import NULL_ACCESS_LOG
+
+        NULL_ACCESS_LOG.request(id="x", route="/", method="GET", status=500, ms=0)
+        assert not NULL_ACCESS_LOG.enabled
+
+    def test_request_id_format(self):
+        from repro.obs.log import new_request_id
+
+        ids = {new_request_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(len(i) == 32 and set(i) <= set("0123456789abcdef") for i in ids)
+
+    def test_use_access_log_scopes_global(self, tmp_path):
+        from repro.obs.log import AccessLog, get_access_log, use_access_log
+
+        before = get_access_log()
+        log = AccessLog(path=str(tmp_path / "scoped.log"))
+        with use_access_log(log):
+            assert get_access_log() is log
+        assert get_access_log() is before
+        log.close()

@@ -11,6 +11,7 @@ import base64
 import io
 import json
 import threading
+import time
 import urllib.error
 import urllib.request
 
@@ -202,3 +203,198 @@ class TestLoadgenReport:
         # The report must flow through the standard regression gate.
         comparison = compare(report, report)
         assert not comparison.regressions
+
+
+def _post_raw(url: str, body: dict, *, headers: dict | None = None):
+    """POST returning ``(status, response_headers, parsed_body)``."""
+    hdrs = {"Content-Type": "application/json"}
+    hdrs.update(headers or {})
+    req = urllib.request.Request(url, data=json.dumps(body).encode(), headers=hdrs)
+    try:
+        with urllib.request.urlopen(req, timeout=60) as resp:
+            return resp.status, dict(resp.headers), json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+class TestRequestIds:
+    def test_inbound_request_id_honored(self, server):
+        base, digest = server
+        status, headers, body = _post_raw(
+            f"{base}/v1/cd",
+            {"scene": digest, "grid": [10, 10], "method": "AICA"},
+            headers={"X-Request-Id": "caller-supplied-id-42"},
+        )
+        assert status == 200
+        assert headers["X-Request-Id"] == "caller-supplied-id-42"
+        assert body["request_id"] == "caller-supplied-id-42"
+
+    def test_generated_request_id_is_hex(self, server):
+        base, _ = server
+        status, headers, _ = _post_raw(
+            f"{base}/v1/cd", {"scene": "f" * 64, "grid": [4, 4]}
+        )
+        assert status == 404
+        rid = headers["X-Request-Id"]
+        assert len(rid) == 32 and set(rid) <= set("0123456789abcdef")
+
+    def test_error_responses_carry_the_id_too(self, server):
+        base, _ = server
+        with urllib.request.urlopen(f"{base}/v1/healthz", timeout=60) as resp:
+            assert resp.headers["X-Request-Id"]
+
+
+class TestErrorFence:
+    def test_unhandled_exception_becomes_json_500(self, server, monkeypatch):
+        from repro.obs.metrics import get_metrics
+
+        base, digest = server
+
+        def explode(self, spec, *, timeout=None, request_id=None):
+            raise RuntimeError("synthetic handler crash")
+
+        monkeypatch.setattr(Service, "query", explode)
+        errors_before = get_metrics().counter("service.errors").value
+        status, headers, body = _post_raw(
+            f"{base}/v1/cd",
+            {"scene": digest, "grid": [10, 10], "method": "AICA"},
+            headers={"X-Request-Id": "crash-probe"},
+        )
+        assert status == 500
+        assert "synthetic handler crash" in body["error"]
+        assert body["request_id"] == "crash-probe"
+        assert headers["X-Request-Id"] == "crash-probe"
+        assert get_metrics().counter("service.errors").value == errors_before + 1
+        assert get_metrics().counter("service.errors.v1.cd.500").value >= 1
+        # The fence is per-request: the server keeps serving afterwards.
+        monkeypatch.undo()
+        status, body = _get(f"{base}/v1/healthz")
+        assert status == 200 and body["status"] == "ok"
+
+
+class TestAccessLogE2E:
+    def test_one_line_per_request_matching_header(self, server, tmp_path):
+        from repro.obs.log import AccessLog, use_access_log
+
+        base, digest = server
+        path = tmp_path / "access.log"
+        log = AccessLog(path=str(path))
+        with use_access_log(log):
+            _, headers, _ = _post_raw(
+                f"{base}/v1/cd", {"scene": digest, "grid": [10, 10], "method": "AICA"}
+            )
+            _get(f"{base}/v1/healthz")
+            # The handler logs *after* the response is on the wire, so the
+            # client can outrun the line hitting the file; wait it out.
+            deadline = time.monotonic() + 5.0
+            while (
+                path.read_text().count("\n") < 2 and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        log.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == 2
+        cd, hz = lines
+        assert cd["route"] == "/v1/cd" and cd["method"] == "POST"
+        assert cd["id"] == headers["X-Request-Id"]
+        assert cd["status"] == 200 and cd["ms"] > 0
+        assert cd["served"] in {"cache", "coalesced", "computed"}
+        assert cd["scene"] == digest[:12]
+        assert hz["route"] == "/v1/healthz" and hz["method"] == "GET"
+
+
+class TestWindowAndPrometheus:
+    def test_healthz_reports_window(self, server):
+        base, digest = server
+        _post(f"{base}/v1/cd", {"scene": digest, "grid": [10, 10], "method": "AICA"})
+        status, body = _get(f"{base}/v1/healthz")
+        assert status == 200
+        window = body["window"]
+        assert set(window) == {"1s", "10s", "60s"}
+        assert window["60s"]["count"] >= 1
+        assert window["60s"]["p95_ms"] > 0
+
+    def test_metrics_probes_stay_out_of_the_window(self, server):
+        base, _ = server
+        _, before = _get(f"{base}/v1/healthz")
+        for _ in range(3):
+            _get(f"{base}/v1/metrics")
+            _get(f"{base}/v1/healthz")
+        _, after = _get(f"{base}/v1/healthz")
+        assert after["window"]["60s"]["count"] == before["window"]["60s"]["count"]
+
+    def test_prometheus_exposition_parses_and_agrees(self, server):
+        from repro.obs.expo import parse_prometheus, snapshot_parity_problems
+
+        base, digest = server
+        _post(f"{base}/v1/cd", {"scene": digest, "grid": [10, 10], "method": "AICA"})
+        _, snapshot = _get(f"{base}/v1/metrics")
+        with urllib.request.urlopen(
+            f"{base}/v1/metrics?format=prometheus", timeout=60
+        ) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            text = resp.read().decode("utf-8")
+        families = parse_prometheus(text)
+        assert "service_registry_scenes" in families
+        assert "service_window_60s_rps" in families
+        assert snapshot_parity_problems(snapshot, families) == []
+
+    def test_unknown_format_is_400(self, server):
+        base, _ = server
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(f"{base}/v1/metrics?format=xml", timeout=60)
+        assert exc.value.code == 400
+
+
+class TestWatch:
+    def test_watch_once_renders_live_frame(self, server, capsys):
+        from repro.obs.cli import main as obs_main
+
+        base, digest = server
+        _post(f"{base}/v1/cd", {"scene": digest, "grid": [10, 10], "method": "AICA"})
+        assert obs_main(["watch", base, "--once"]) == 0
+        out = capsys.readouterr().out
+        assert f"repro-serve @ {base}" in out
+        assert "rps" in out and "p95ms" in out
+        assert "cache hit rate" in out
+        assert "(first poll)" in out
+
+    def test_watch_frames_shows_deltas(self, server, capsys):
+        from repro.obs.cli import main as obs_main
+
+        base, digest = server
+        code = obs_main(["watch", base, "--frames", "2", "--interval", "0.05"])
+        assert code == 0
+        assert "top deltas" in capsys.readouterr().out
+
+    def test_watch_unreachable_url_exits_2(self, capsys):
+        from repro.obs.cli import main as obs_main
+
+        assert obs_main(["watch", "http://127.0.0.1:1", "--once"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestLoadgenStatusCounts:
+    def test_report_carries_status_counts_and_prometheus_check(
+        self, server, tmp_path, capsys
+    ):
+        from repro.obs.report import load_report
+        from repro.service.cli import main_loadgen
+
+        base, digest = server
+        out = tmp_path / "loadgen.json"
+        code = main_loadgen([
+            "--url", base, "--scene", digest, "--pivot", "0", "0", "21",
+            "-n", "8", "-c", "2", "--distinct", "2",
+            "--grid", "6", "6", "--json", str(out),
+            "--prometheus-check",
+        ])
+        assert code == 0
+        report = load_report(out)
+        assert report.metrics["loadgen.status.200"]["value"] == 8
+        assert report.meta["status_counts"] == {"200": 8}
+        assert report.meta["first_error"] is None
+        printed = capsys.readouterr().out
+        assert "status codes: 200×8" in printed
+        assert "prometheus parity check OK" in printed

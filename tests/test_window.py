@@ -1,0 +1,159 @@
+"""Sliding-window request statistics: semantics under a fake clock.
+
+Every test injects its own clock, so window edges, expiry, and ring
+recycling are asserted exactly — no sleeps, no flakiness.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.window import DEFAULT_WINDOWS, RequestWindow, percentile
+
+
+class FakeClock:
+    def __init__(self, t: float = 1000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make(horizon_s=60, **kw):
+    clock = FakeClock()
+    return RequestWindow(horizon_s, clock=clock, **kw), clock
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0.50) == 2.0
+        assert percentile(values, 0.95) == 4.0
+        assert percentile(values, 0.99) == 4.0
+        assert percentile([7.0], 0.5) == 7.0
+
+
+class TestRecordAndStats:
+    def test_basic_counts_and_rates(self):
+        window, clock = make()
+        for _ in range(5):
+            window.record(10.0)
+        window.record(50.0, error=True)
+        stats = window.stats(10)
+        assert stats["count"] == 6
+        assert stats["errors"] == 1
+        assert stats["rps"] == pytest.approx(0.6)
+        assert stats["error_rate"] == pytest.approx(1 / 6)
+        assert stats["mean_ms"] == pytest.approx(100 / 6)
+        assert stats["p99_ms"] == 50.0
+
+    def test_empty_window_is_zeroes(self):
+        window, _ = make()
+        stats = window.stats(60)
+        assert stats["count"] == 0
+        assert stats["rps"] == 0.0
+        assert stats["error_rate"] == 0.0
+        assert stats["p95_ms"] == 0.0
+
+    def test_one_second_window_covers_current_second(self):
+        window, clock = make()
+        window.record(1.0)
+        assert window.stats(1)["count"] == 1
+        clock.advance(1.0)  # now in the next wall-clock second
+        assert window.stats(1)["count"] == 0
+        assert window.stats(10)["count"] == 1
+
+    def test_expiry_beyond_horizon(self):
+        window, clock = make(horizon_s=60)
+        window.record(5.0)
+        clock.advance(59.0)
+        assert window.stats(60)["count"] == 1
+        clock.advance(2.0)
+        assert window.stats(60)["count"] == 0
+
+    def test_ring_slot_recycled_after_a_lap(self):
+        window, clock = make(horizon_s=10)
+        window.record(1.0)
+        window.record(1.0)
+        clock.advance(10.0)  # exactly one lap: same slot, new second
+        window.record(2.0)
+        stats = window.stats(10)
+        assert stats["count"] == 1  # the old bucket's contents are gone
+        assert stats["p50_ms"] == 2.0
+
+    def test_quantiles_across_buckets(self):
+        window, clock = make()
+        for second in range(5):
+            for ms in (10.0, 20.0, 30.0, 40.0):
+                window.record(ms + second)  # distinct values per second
+            clock.advance(1.0)
+        stats = window.stats(10)
+        assert stats["count"] == 20
+        assert stats["p50_ms"] == 24.0
+        assert stats["p99_ms"] == 44.0
+
+    def test_window_clamped_to_horizon(self):
+        window, clock = make(horizon_s=10)
+        window.record(1.0)
+        assert window.stats(9999)["window_s"] == 10
+
+    def test_sample_cap_keeps_count_exact(self):
+        window, _ = make(max_samples_per_bucket=4)
+        for i in range(10):
+            window.record(float(i))
+        stats = window.stats(1)
+        assert stats["count"] == 10  # count/sum exact beyond the cap
+        assert stats["mean_ms"] == pytest.approx(4.5)
+        assert stats["p99_ms"] == 3.0  # quantiles from the capped samples
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="horizon_s"):
+            RequestWindow(0)
+        with pytest.raises(ValueError, match="max_samples"):
+            RequestWindow(10, max_samples_per_bucket=0)
+
+
+class TestSnapshotAndGauges:
+    def test_snapshot_keys(self):
+        window, _ = make()
+        snap = window.snapshot()
+        assert set(snap) == {f"{w}s" for w in DEFAULT_WINDOWS}
+        assert snap["10s"]["window_s"] == 10
+
+    def test_export_gauges(self):
+        window, _ = make()
+        window.record(12.0)
+        window.record(8.0, error=True)
+        reg = MetricsRegistry()
+        window.export_gauges(reg)
+        assert reg.gauge("service.window.1s.count").value == 2
+        assert reg.gauge("service.window.60s.error_rate").value == pytest.approx(0.5)
+        assert reg.gauge("service.window.10s.p95_ms").value == 12.0
+
+
+class TestThreadSafety:
+    def test_concurrent_records_all_counted(self):
+        window = RequestWindow(60)  # real clock: records land "now"
+        n_threads, per_thread = 8, 2000
+
+        def hammer():
+            for i in range(per_thread):
+                window.record(1.0, error=(i % 10 == 0))
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = window.stats(60)
+        assert stats["count"] == n_threads * per_thread
+        assert stats["errors"] == n_threads * (per_thread // 10)
