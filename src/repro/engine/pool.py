@@ -44,6 +44,7 @@ import numpy as np
 from repro.engine.workspace import Workspace, export_workspace_metrics, use_workspace
 from repro.geometry.aabb import AABB
 from repro.ica.table import IcaTable
+from repro.obs.context import TraceContext, use_trace_context
 from repro.obs.metrics import get_metrics
 from repro.obs.profile import Heartbeat, PoolStats, peak_rss_bytes, progress_enabled
 from repro.obs.trace import Tracer, get_tracer, use_tracer
@@ -388,7 +389,8 @@ def _cd_block_task(job: dict) -> dict:
     tracer = Tracer() if job["trace"] else None
     ws = _worker_workspace()
     ws_before = ws.stats()
-    with use_tracer(tracer), use_workspace(ws):
+    with use_tracer(tracer), use_workspace(ws), \
+            use_trace_context(job.get("trace_ctx")):
         counters = ThreadCounters(n_threads=M, n_cyl=scene.n_cylinders)
         rt = Runtime(
             scene=scene,
@@ -446,7 +448,7 @@ def _pivot_task(job: dict) -> dict:
     config = replace(job["config"], workers=1)  # no nested pools
     with use_tracer(tracer), use_metrics(MetricsRegistry()), use_workspace(
         _worker_workspace()
-    ):
+    ), use_trace_context(job.get("trace_ctx")):
         result = run_cd(
             scene, job["grid"], method,
             device=job["device"], costs=job["costs"], config=config,
@@ -537,6 +539,7 @@ def run_cd_parallel(
                 "t0": a,
                 "t1": b,
                 "trace": tracer.enabled,
+                "trace_ctx": None,  # filled under the traversal span below
             }
             for a, b in ranges
         ]
@@ -547,6 +550,15 @@ def run_cd_parallel(
         heartbeat = Heartbeat(len(jobs), "block") if progress_enabled() else None
         try:
             with tracer.span("cd.traversal", start_level=L0, workers=n_workers) as tsp:
+                if tracer.enabled:
+                    # Workers run under the traversal span's identity, so
+                    # their spans carry this trace's ID and their roots
+                    # link straight to the span they are absorbed under.
+                    worker_ctx = TraceContext(
+                        trace_id=tsp.trace_id, span_id=tsp.span_id
+                    )
+                    for job in jobs:
+                        job["trace_ctx"] = worker_ctx
                 pool_w0 = time.perf_counter()
                 stats = PoolStats(n_workers, arena_bytes=shared.nbytes)
                 on_done = (lambda i: heartbeat.tick(block=i)) if heartbeat else None
@@ -630,6 +642,11 @@ def run_along_path_parallel(
             "cd.path.pool", pivots=len(pivots), workers=n_workers
         ) as pool_sp:
             pool_sp.set(nbytes=shared.nbytes)
+            pool_ctx = (
+                TraceContext(trace_id=pool_sp.trace_id, span_id=pool_sp.span_id)
+                if tracer.enabled
+                else None
+            )
             jobs = [
                 {
                     "manifest": shared.manifest,
@@ -642,6 +659,7 @@ def run_along_path_parallel(
                     "method": method.name,
                     "index": i,
                     "trace": tracer.enabled,
+                    "trace_ctx": pool_ctx,
                 }
                 for i, p in enumerate(pivots)
             ]

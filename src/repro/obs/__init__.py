@@ -6,6 +6,11 @@ without cycles):
 
 * :mod:`repro.obs.trace` — nested spans over the pipeline stages, a
   no-op by default so benchmark numbers are unaffected;
+* :mod:`repro.obs.context` — W3C trace-context identity and propagation
+  (``traceparent`` codec, deterministic head sampling, ambient
+  per-thread context);
+* :mod:`repro.obs.otlp` — OTLP/JSON trace export plus a strict
+  validating parser (no collector required);
 * :mod:`repro.obs.metrics` — counters / gauges / histograms the CD runs
   accumulate into (check counts, table sizes, per-thread distributions);
 * :mod:`repro.obs.report` — serializes one run to JSON and diffs two
@@ -26,6 +31,18 @@ timeline exports, report diffs, and the live ``watch`` dashboard from
 the command line.
 """
 
+from repro.obs.context import (
+    TraceContext,
+    current_trace_context,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    sample_rate_from_env,
+    set_trace_context,
+    trace_sampled,
+    use_trace_context,
+)
 from repro.obs.expo import (
     parse_prometheus,
     prometheus_name,
@@ -49,6 +66,12 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
     use_metrics,
+)
+from repro.obs.otlp import (
+    otlp_json,
+    otlp_spans,
+    to_otlp,
+    validate_otlp,
 )
 from repro.obs.report import (
     Comparison,
@@ -84,6 +107,20 @@ from repro.obs.trace import (
 from repro.obs.window import RequestWindow
 
 __all__ = [
+    "TraceContext",
+    "current_trace_context",
+    "format_traceparent",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "sample_rate_from_env",
+    "set_trace_context",
+    "trace_sampled",
+    "use_trace_context",
+    "otlp_json",
+    "otlp_spans",
+    "to_otlp",
+    "validate_otlp",
     "AccessLog",
     "NullAccessLog",
     "NULL_ACCESS_LOG",

@@ -5,16 +5,18 @@ Usage::
 
     repro-obs tree r.json                      # span tree with totals
     repro-obs tree r.json --depth 3 --min-wall 0.01
-    repro-obs top r.json --by cpu -n 10        # hotspots by wall/cpu
+    repro-obs top r.json --by cpu -n 10        # hotspots by wall/cpu/cost
     repro-obs export r.json --format perfetto -o trace.json
     repro-obs export r.json --format collapsed -o stacks.txt
+    repro-obs export r.json --format otlp -o otlp.json
     repro-obs diff baseline.json current.json  # per-span + per-metric deltas
     repro-obs watch http://127.0.0.1:8077      # live serving dashboard
 
 ``tree`` and ``top`` read the trace out of a ``repro-bench ... --json``
 report; ``export`` converts it to a Perfetto timeline (open at
-https://ui.perfetto.dev) or collapsed stacks (``flamegraph.pl`` /
-https://speedscope.app); ``diff`` prints every tracked metric's movement
+https://ui.perfetto.dev), collapsed stacks (``flamegraph.pl`` /
+https://speedscope.app), or OTLP/JSON (POST to any OpenTelemetry
+collector's ``/v1/traces``); ``diff`` prints every tracked metric's movement
 between two reports and exits nonzero on regression (same engine as
 ``repro-bench compare``, plus the full delta table).
 
@@ -39,6 +41,7 @@ import time
 import urllib.error
 import urllib.request
 
+from repro.obs.otlp import otlp_json
 from repro.obs.report import RunReport, compare, load_report
 from repro.obs.timeline import perfetto_json, to_collapsed
 
@@ -124,8 +127,54 @@ def _cmd_tree(args) -> int:
 # ---------------------------------------------------------------------------
 
 
+def cost_totals(spans: list[dict]) -> dict[str, dict]:
+    """Aggregate *attributed* cost per span name: ``cost.cpu_ms`` etc.
+
+    Unlike ``span_totals`` (measured wall/CPU of the span itself), this
+    sums the cost-ledger attributes a serving span carries — the CPU
+    milliseconds, workspace bytes, and queue-wait the *request* was
+    billed, wherever the work actually ran (pool workers included).
+    """
+    out: dict[str, dict] = {}
+    for s in spans:
+        attrs = s.get("attrs", {}) or {}
+        if "cost.cpu_ms" not in attrs:
+            continue
+        agg = out.setdefault(
+            s["name"],
+            {"count": 0, "cpu_ms": 0.0, "workspace_bytes": 0, "queue_wait_ms": 0.0},
+        )
+        agg["count"] += 1
+        agg["cpu_ms"] += float(attrs.get("cost.cpu_ms", 0.0) or 0.0)
+        agg["workspace_bytes"] += int(attrs.get("cost.workspace_bytes", 0) or 0)
+        agg["queue_wait_ms"] += float(attrs.get("cost.queue_wait_ms", 0.0) or 0.0)
+    return out
+
+
 def _cmd_top(args) -> int:
     report = _load(args.report)
+    if args.by == "cost":
+        totals = cost_totals(report.spans)
+        if not totals:
+            print(
+                "(report has no cost-attributed spans — cost attributes are "
+                "recorded by the serving layer)"
+            )
+            return 0
+        order = sorted(totals, key=lambda n: totals[n]["cpu_ms"], reverse=True)
+        order = order[: args.limit]
+        denom = max((totals[n]["cpu_ms"] for n in totals), default=0.0)
+        width = max((len(n) for n in order), default=4)
+        print(f"{report.label}: top {len(order)} spans by attributed cost")
+        for name in order:
+            agg = totals[name]
+            share = agg["cpu_ms"] / denom if denom else 0.0
+            print(
+                f"{name:{width}s}  x{agg['count']:<6d} cpu {agg['cpu_ms']:9.1f}ms  "
+                f"queue {agg['queue_wait_ms']:8.1f}ms  "
+                f"ws {agg['workspace_bytes']:>12d}B  {share:6.1%}"
+            )
+        return 0
     totals = report.span_totals
     if not totals:
         print("(report has no span totals)")
@@ -154,6 +203,8 @@ def _cmd_export(args) -> int:
     report = _load(args.report)
     if args.format == "perfetto":
         payload = perfetto_json(report, label=report.label or "repro", indent=None)
+    elif args.format == "otlp":
+        payload = otlp_json(report, label=report.label or "repro")
     else:
         payload = to_collapsed(report)
     if args.output in (None, "-"):
@@ -375,15 +426,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_top = sub.add_parser("top", help="hotspots by aggregated span time")
     p_top.add_argument("report")
-    p_top.add_argument("--by", choices=("wall", "cpu"), default="wall")
+    p_top.add_argument("--by", choices=("wall", "cpu", "cost"), default="wall")
     p_top.add_argument("-n", "--limit", type=int, default=15)
     p_top.set_defaults(fn=_cmd_top)
 
     p_exp = sub.add_parser("export", help="export the trace for external viewers")
     p_exp.add_argument("report")
     p_exp.add_argument(
-        "--format", choices=("perfetto", "collapsed"), default="perfetto",
-        help="perfetto: Chrome trace-event JSON; collapsed: flamegraph stacks",
+        "--format", choices=("perfetto", "collapsed", "otlp"), default="perfetto",
+        help="perfetto: Chrome trace-event JSON; collapsed: flamegraph "
+        "stacks; otlp: OTLP/JSON for any OpenTelemetry collector",
     )
     p_exp.add_argument(
         "-o", "--output", default=None, help="output path (default stdout)"

@@ -1,0 +1,218 @@
+"""W3C trace-context: trace/span identity, propagation, and sampling.
+
+A single process can get away with implicit span parentage (the
+tracer's nesting stack); a *fleet* cannot.  The moment a request hops
+process or host boundaries — HTTP front end to service, service to pool
+worker, router to replica — the only thing that can stitch its spans
+back into one trace is explicit identity: a 128-bit **trace ID** shared
+by every span of the request, a 64-bit **span ID** per span, and a
+``parent_span_id`` link.  This module owns that identity and its wire
+form, the W3C Trace Context ``traceparent`` header
+(https://www.w3.org/TR/trace-context/)::
+
+    traceparent: 00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+                 ^^ ^^^^^^^^^^^^ trace-id ^^^^^^^^^^ ^^ span-id ^^^^^^ ^^
+              version                                            trace-flags
+
+* :class:`TraceContext` — an immutable (trace_id, span_id, sampled,
+  tracestate) tuple.  ``span_id`` is the *current* span on the caller's
+  side (the parent of whatever the callee opens); ``child()`` mints the
+  next hop.
+* :func:`parse_traceparent` / :func:`format_traceparent` — strict wire
+  codec.  Parsing is defensive: any malformed header (bad version,
+  short IDs, all-zero trace ID, bad flags) returns ``None`` so the
+  caller mints a fresh context instead of crashing or trusting garbage.
+* ambient context — :func:`current_trace_context` et al. install a
+  context per *thread*: span records created while one is active
+  (:mod:`repro.obs.trace`) inherit its trace ID, and root spans link to
+  its span ID.  The service's dispatch threads scope a context per
+  request; everything recorded underneath lands in that request's trace.
+* head sampling — :func:`trace_sampled` implements the deterministic
+  trace-ID-ratio sampler (the low 64 bits of the trace ID interpreted
+  as a fraction), so every participant that sees the same trace ID and
+  the same ``REPRO_TRACE_SAMPLE`` rate makes the same decision, and an
+  inbound ``sampled`` flag is simply honored.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "TraceContext",
+    "new_trace_id",
+    "new_span_id",
+    "parse_traceparent",
+    "format_traceparent",
+    "trace_sampled",
+    "sample_rate_from_env",
+    "current_trace_context",
+    "set_trace_context",
+    "use_trace_context",
+]
+
+TRACEPARENT_HEADER = "traceparent"
+TRACESTATE_HEADER = "tracestate"
+
+_HEX = set("0123456789abcdef")
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace ID: 32 lowercase hex chars, never all-zero."""
+    while True:
+        tid = os.urandom(16).hex()
+        if tid != "0" * 32:
+            return tid
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span ID: 16 lowercase hex chars, never all-zero."""
+    while True:
+        sid = os.urandom(8).hex()
+        if sid != "0" * 16:
+            return sid
+
+
+def _is_hex(value: str, length: int) -> bool:
+    return len(value) == length and set(value) <= _HEX
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One hop of a distributed trace.
+
+    ``span_id`` is the span the *sender* is currently inside — the
+    parent of anything the receiver opens.  A locally-originated root
+    context may carry ``span_id = ""`` (no parent anywhere); such a
+    context cannot be serialized to a ``traceparent`` until ``child()``
+    mints a real span.  ``parent_id`` remembers the previous hop's span
+    (what ``span_id`` was before the last ``child()``), so a span
+    recorded *as* ``span_id`` knows its parent link without a second
+    context object.
+    """
+
+    trace_id: str
+    span_id: str = ""
+    sampled: bool = True
+    tracestate: str = ""
+    parent_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not _is_hex(self.trace_id, 32) or self.trace_id == "0" * 32:
+            raise ValueError(f"trace_id must be 32 non-zero hex chars, got {self.trace_id!r}")
+        if self.span_id and (not _is_hex(self.span_id, 16) or self.span_id == "0" * 16):
+            raise ValueError(f"span_id must be 16 non-zero hex chars, got {self.span_id!r}")
+
+    def child(self) -> "TraceContext":
+        """The next hop: a fresh span ID parented on this context's span."""
+        return replace(self, span_id=new_span_id(), parent_id=self.span_id)
+
+    def to_traceparent(self) -> str:
+        return format_traceparent(self)
+
+
+def parse_traceparent(value: str | None) -> TraceContext | None:
+    """Parse a ``traceparent`` header; ``None`` on anything malformed.
+
+    Strict per the W3C spec: 2-hex version (``ff`` forbidden), 32-hex
+    non-zero trace ID, 16-hex non-zero parent span ID, 2-hex flags —
+    all lowercase.  Version ``00`` must have exactly four fields; a
+    higher (unknown) version is accepted if its first four fields parse
+    (forward compatibility).  The caller's contract: a ``None`` return
+    means *mint a fresh context*, never crash.
+    """
+    if not value or not isinstance(value, str):
+        return None
+    parts = value.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, span_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if not _is_hex(version, 2) or version == "ff":
+        return None
+    if version == "00" and len(parts) != 4:
+        return None
+    if not _is_hex(trace_id, 32) or trace_id == "0" * 32:
+        return None
+    if not _is_hex(span_id, 16) or span_id == "0" * 16:
+        return None
+    if not _is_hex(flags, 2):
+        return None
+    sampled = bool(int(flags, 16) & 0x01)
+    return TraceContext(trace_id=trace_id, span_id=span_id, sampled=sampled)
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """The context as a version-00 ``traceparent`` header value."""
+    if not ctx.span_id:
+        raise ValueError("cannot format a context without a span_id; call child() first")
+    return f"00-{ctx.trace_id}-{ctx.span_id}-{'01' if ctx.sampled else '00'}"
+
+
+# ---------------------------------------------------------------------------
+# Head sampling
+# ---------------------------------------------------------------------------
+
+_SCALE = 1 << 64  # the span-id half of the trace ID, as a fraction denominator
+
+
+def sample_rate_from_env(default: float = 1.0) -> float:
+    """The head-sampling probability from ``REPRO_TRACE_SAMPLE``.
+
+    A float in ``[0, 1]`` (clamped); unset or unparsable means
+    ``default`` (sample everything — tracing stays opt-in via the
+    tracer itself).
+    """
+    raw = os.environ.get("REPRO_TRACE_SAMPLE", "").strip()
+    if not raw:
+        return default
+    try:
+        rate = float(raw)
+    except ValueError:
+        return default
+    return min(1.0, max(0.0, rate))
+
+
+def trace_sampled(trace_id: str, rate: float) -> bool:
+    """Deterministic trace-ID-ratio decision: same ID + rate ⇒ same answer.
+
+    Interprets the low 64 bits of the trace ID as a uniform fraction —
+    the standard OpenTelemetry ``TraceIdRatioBased`` sampler — so every
+    process in a fleet agrees without coordination.
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    return int(trace_id[16:32], 16) < rate * _SCALE
+
+
+# ---------------------------------------------------------------------------
+# Ambient (per-thread) context
+# ---------------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def current_trace_context() -> TraceContext | None:
+    """The context installed for the current thread, if any."""
+    return getattr(_tls, "context", None)
+
+
+def set_trace_context(ctx: TraceContext | None) -> TraceContext | None:
+    """Install ``ctx`` for this thread (``None`` clears); returns previous."""
+    prev = current_trace_context()
+    _tls.context = ctx
+    return prev
+
+
+@contextmanager
+def use_trace_context(ctx: TraceContext | None):
+    """Scoped :func:`set_trace_context`: installs for the block, restores."""
+    prev = set_trace_context(ctx)
+    try:
+        yield ctx
+    finally:
+        set_trace_context(prev)

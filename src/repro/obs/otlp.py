@@ -1,0 +1,341 @@
+"""OTLP-JSON trace export and a strict validating parser.
+
+Perfetto answers "show me this run"; OTLP answers "ship this trace to
+the tracing backend every other service already reports to".  This
+module renders any finished trace — a live
+:class:`~repro.obs.trace.Tracer`, a saved run report, or a raw span
+list — as the OTLP/JSON wire form (the protobuf JSON mapping of
+``ExportTraceServiceRequest``: ResourceSpans → ScopeSpans → Spans),
+which Jaeger, Tempo, and any OpenTelemetry collector ingest on
+``POST /v1/traces``.
+
+No collector is required anywhere in this repo: :func:`validate_otlp`
+is a strict structural parser (hex ID shapes, time ordering, attribute
+typing, parent-link resolvability) that the tests and CI run against
+every export, so the payloads are known-good before one ever leaves the
+machine.
+
+Spans written before the identity era (no ``trace_id``/``span_id``
+fields) still export: IDs are minted deterministically from the span's
+position, preserving the index-based parent links, so ``repro-obs
+export --format otlp`` works on any historical report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = [
+    "to_otlp",
+    "otlp_json",
+    "validate_otlp",
+    "otlp_spans",
+]
+
+_SPAN_KIND_INTERNAL = 1
+_STATUS_UNSET = 0
+_STATUS_ERROR = 2
+_SCOPE = {"name": "repro.obs", "version": "1"}
+
+
+def _spans_of(trace_or_spans) -> tuple[list[dict], int]:
+    """``(span dicts, epoch_ns)`` from a Tracer, RunReport, or raw list."""
+    if hasattr(trace_or_spans, "to_dicts"):  # Tracer
+        return trace_or_spans.to_dicts(), int(getattr(trace_or_spans, "epoch_ns", 0))
+    if hasattr(trace_or_spans, "spans"):  # RunReport
+        meta = getattr(trace_or_spans, "meta", {}) or {}
+        return list(trace_or_spans.spans), int(meta.get("trace_epoch_ns") or 0)
+    return list(trace_or_spans), 0
+
+
+def _derived_id(seed: str, nbytes: int) -> str:
+    """A deterministic non-zero hex ID for spans predating explicit IDs."""
+    digest = hashlib.blake2b(seed.encode("utf-8"), digest_size=nbytes).hexdigest()
+    return digest if set(digest) != {"0"} else "1" * (2 * nbytes)
+
+
+def _anyvalue(value) -> dict:
+    """One attribute value in the protobuf-JSON ``AnyValue`` encoding."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}  # 64-bit ints are strings in proto-JSON
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    if isinstance(value, str):
+        return {"stringValue": value}
+    if isinstance(value, (list, tuple)):
+        return {"arrayValue": {"values": [_anyvalue(v) for v in value]}}
+    if isinstance(value, dict):
+        return {
+            "kvlistValue": {
+                "values": [
+                    {"key": str(k), "value": _anyvalue(v)} for k, v in value.items()
+                ]
+            }
+        }
+    return {"stringValue": str(value)}
+
+
+def _attributes(attrs: dict) -> list[dict]:
+    return [{"key": str(k), "value": _anyvalue(v)} for k, v in attrs.items()]
+
+
+def to_otlp(
+    trace_or_spans,
+    *,
+    service_name: str = "repro",
+    label: str = "repro",
+    epoch_ns: int | None = None,
+) -> dict:
+    """The trace as an OTLP/JSON ``ExportTraceServiceRequest`` document.
+
+    ``epoch_ns`` anchors span ``t0`` offsets on the wall clock (taken
+    from the tracer / the report's ``meta.trace_epoch_ns`` when not
+    given; raw span lists with no anchor start at zero — structurally
+    valid, just not absolute).  Span attributes become OTLP attributes,
+    an ``error`` attribute becomes an ERROR status, and CPU time rides
+    along as a ``cpu_ms`` attribute (OTLP spans have no CPU field).
+    """
+    spans, anchored = _spans_of(trace_or_spans)
+    epoch = int(epoch_ns) if epoch_ns is not None else anchored
+
+    # Resolve identity first: explicit IDs verbatim, minted ones for
+    # legacy records — parent links follow the index tree either way.
+    trace_ids: list[str] = []
+    span_ids: list[str] = []
+    default_trace = None
+    for i, s in enumerate(spans):
+        if s.get("trace_id"):
+            trace_ids.append(s["trace_id"])
+        else:
+            if default_trace is None:
+                default_trace = _derived_id(f"{label}/trace/{epoch}", 16)
+            trace_ids.append(default_trace)
+        span_ids.append(s.get("span_id") or _derived_id(f"{label}/span/{epoch}/{i}", 8))
+
+    otlp_spans_out: list[dict] = []
+    for i, s in enumerate(spans):
+        parent = s.get("parent", -1)
+        if s.get("parent_span_id"):
+            parent_span_id = s["parent_span_id"]
+        elif parent >= 0:
+            parent_span_id = span_ids[parent]
+        else:
+            parent_span_id = ""
+        start_ns = epoch + int(round(float(s["t0"]) * 1e9))
+        end_ns = start_ns + max(0, int(round(float(s.get("wall_s", 0.0)) * 1e9)))
+        attrs = dict(s.get("attrs", {}))
+        cpu_s = float(s.get("cpu_s", 0.0) or 0.0)
+        if cpu_s and "cpu_ms" not in attrs:
+            attrs["cpu_ms"] = cpu_s * 1e3
+        error = attrs.get("error")
+        span = {
+            "traceId": trace_ids[i],
+            "spanId": span_ids[i],
+            "name": str(s["name"]),
+            "kind": _SPAN_KIND_INTERNAL,
+            "startTimeUnixNano": str(start_ns),
+            "endTimeUnixNano": str(end_ns),
+            "attributes": _attributes(attrs),
+            "status": (
+                {"code": _STATUS_ERROR, "message": str(error)}
+                if error
+                else {"code": _STATUS_UNSET}
+            ),
+        }
+        if parent_span_id:
+            span["parentSpanId"] = parent_span_id
+        otlp_spans_out.append(span)
+
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": _attributes(
+                        {"service.name": service_name, "repro.label": label}
+                    )
+                },
+                "scopeSpans": [{"scope": dict(_SCOPE), "spans": otlp_spans_out}],
+            }
+        ]
+    }
+
+
+def otlp_json(trace_or_spans, *, indent=None, **kwargs) -> str:
+    """:func:`to_otlp`, serialized (NumPy-safe via the report encoder)."""
+    from repro.obs.report import _json_default
+
+    return json.dumps(
+        to_otlp(trace_or_spans, **kwargs), default=_json_default, indent=indent
+    )
+
+
+# ---------------------------------------------------------------------------
+# Strict validation
+# ---------------------------------------------------------------------------
+
+_HEX = set("0123456789abcdef")
+_VALUE_KEYS = {
+    "stringValue",
+    "boolValue",
+    "intValue",
+    "doubleValue",
+    "arrayValue",
+    "kvlistValue",
+    "bytesValue",
+}
+
+
+def _is_hex_id(value, nbytes: int) -> bool:
+    return (
+        isinstance(value, str)
+        and len(value) == 2 * nbytes
+        and set(value) <= _HEX
+        and set(value) != {"0"}
+    )
+
+
+def _check_attributes(attrs, where: str, problems: list[str]) -> None:
+    if not isinstance(attrs, list):
+        problems.append(f"{where}: attributes must be a list")
+        return
+    for j, kv in enumerate(attrs):
+        if not isinstance(kv, dict) or "key" not in kv or "value" not in kv:
+            problems.append(f"{where}: attribute [{j}] needs 'key' and 'value'")
+            continue
+        if not isinstance(kv["key"], str) or not kv["key"]:
+            problems.append(f"{where}: attribute [{j}] key must be a non-empty string")
+        value = kv["value"]
+        if not isinstance(value, dict) or len(set(value) & _VALUE_KEYS) != 1:
+            problems.append(
+                f"{where}: attribute {kv.get('key')!r} value must carry exactly "
+                f"one of {sorted(_VALUE_KEYS)}"
+            )
+        elif "intValue" in value and not isinstance(value["intValue"], str):
+            problems.append(
+                f"{where}: attribute {kv.get('key')!r} intValue must be a string "
+                "(proto-JSON int64)"
+            )
+
+
+def otlp_spans(doc: dict) -> list[dict]:
+    """Flatten every span out of an OTLP/JSON document (no validation)."""
+    out: list[dict] = []
+    for rs in doc.get("resourceSpans", []) or []:
+        for ss in rs.get("scopeSpans", []) or []:
+            out.extend(ss.get("spans", []) or [])
+    return out
+
+
+def validate_otlp(doc, *, allow_unresolved_parents=()) -> list[str]:
+    """Strictly validate an OTLP/JSON trace document.
+
+    Returns a list of human-readable problems — empty means the payload
+    is structurally valid OTLP: correct nesting, 16/8-byte lowercase-hex
+    non-zero trace/span IDs, unique span IDs, ``start <= end``, typed
+    attributes, status codes in range, and every ``parentSpanId``
+    resolving to a span of the *same trace* inside the payload.
+
+    ``allow_unresolved_parents`` whitelists span IDs that legitimately
+    live outside the payload — the remote parent carried in by an
+    inbound ``traceparent`` header, whose span belongs to the caller.
+    """
+    problems: list[str] = []
+    allowed = set(allow_unresolved_parents)
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    rspans = doc.get("resourceSpans")
+    if not isinstance(rspans, list) or not rspans:
+        return ["document needs a non-empty 'resourceSpans' list"]
+
+    flat: list[dict] = []
+    for r, rs in enumerate(rspans):
+        where = f"resourceSpans[{r}]"
+        if not isinstance(rs, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        resource = rs.get("resource")
+        if not isinstance(resource, dict):
+            problems.append(f"{where}: needs a 'resource' object")
+        else:
+            _check_attributes(
+                resource.get("attributes", []), f"{where}.resource", problems
+            )
+        sspans = rs.get("scopeSpans")
+        if not isinstance(sspans, list) or not sspans:
+            problems.append(f"{where}: needs a non-empty 'scopeSpans' list")
+            continue
+        for c, ss in enumerate(sspans):
+            swhere = f"{where}.scopeSpans[{c}]"
+            if not isinstance(ss, dict):
+                problems.append(f"{swhere}: must be an object")
+                continue
+            scope = ss.get("scope")
+            if not isinstance(scope, dict) or not scope.get("name"):
+                problems.append(f"{swhere}: needs a named 'scope'")
+            spans = ss.get("spans")
+            if not isinstance(spans, list):
+                problems.append(f"{swhere}: needs a 'spans' list")
+                continue
+            flat.extend(s for s in spans if isinstance(s, dict))
+            for k, s in enumerate(spans):
+                if not isinstance(s, dict):
+                    problems.append(f"{swhere}.spans[{k}]: must be an object")
+
+    by_id: dict[str, dict] = {}
+    for k, s in enumerate(flat):
+        where = f"span[{k}] ({s.get('name', '?')!r})"
+        for key in ("traceId", "spanId", "name", "startTimeUnixNano", "endTimeUnixNano"):
+            if key not in s:
+                problems.append(f"{where}: missing required field {key!r}")
+        if "traceId" in s and not _is_hex_id(s["traceId"], 16):
+            problems.append(
+                f"{where}: traceId must be 32 non-zero lowercase hex chars, "
+                f"got {s['traceId']!r}"
+            )
+        if "spanId" in s and not _is_hex_id(s["spanId"], 8):
+            problems.append(
+                f"{where}: spanId must be 16 non-zero lowercase hex chars, "
+                f"got {s['spanId']!r}"
+            )
+        if "parentSpanId" in s and not _is_hex_id(s["parentSpanId"], 8):
+            problems.append(f"{where}: malformed parentSpanId {s['parentSpanId']!r}")
+        try:
+            start = int(s.get("startTimeUnixNano", 0))
+            end = int(s.get("endTimeUnixNano", 0))
+            if end < start:
+                problems.append(f"{where}: endTimeUnixNano precedes start")
+        except (TypeError, ValueError):
+            problems.append(f"{where}: time fields must be integer nanoseconds")
+        kind = s.get("kind", _SPAN_KIND_INTERNAL)
+        if not isinstance(kind, int) or not 0 <= kind <= 5:
+            problems.append(f"{where}: kind must be an int in [0, 5]")
+        _check_attributes(s.get("attributes", []), where, problems)
+        status = s.get("status", {})
+        if not isinstance(status, dict) or status.get("code", 0) not in (0, 1, 2):
+            problems.append(f"{where}: status code must be 0 (unset), 1 (ok) or 2 (error)")
+        sid = s.get("spanId")
+        if isinstance(sid, str):
+            if sid in by_id:
+                problems.append(f"{where}: duplicate spanId {sid}")
+            else:
+                by_id[sid] = s
+
+    for k, s in enumerate(flat):
+        parent = s.get("parentSpanId")
+        if not parent or parent in allowed:
+            continue
+        target = by_id.get(parent)
+        if target is None:
+            problems.append(
+                f"span[{k}] ({s.get('name', '?')!r}): parentSpanId {parent} "
+                "resolves to no span in the payload"
+            )
+        elif target.get("traceId") != s.get("traceId"):
+            problems.append(
+                f"span[{k}] ({s.get('name', '?')!r}): parent {parent} belongs "
+                "to a different trace"
+            )
+    return problems

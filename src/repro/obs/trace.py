@@ -22,6 +22,14 @@ A real :class:`Tracer` is installed either explicitly::
 or process-wide by setting ``REPRO_TRACE=1`` in the environment before
 the first ``repro`` import (the CLI's ``--json`` / ``--trace`` flags do
 the explicit installation for you).
+
+Every span additionally carries explicit W3C-style identity
+(:mod:`repro.obs.context`): a 128-bit ``trace_id`` (the tracer's own,
+or the ambient :class:`~repro.obs.context.TraceContext`'s when one is
+installed on the recording thread), a fresh 64-bit ``span_id``, and a
+``parent_span_id`` link — the index-based ``parent`` stays the
+in-process tree, the IDs are what survives process and host boundaries
+(pool workers, OTLP export, cross-replica stitching).
 """
 
 from __future__ import annotations
@@ -31,6 +39,8 @@ import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from repro.obs.context import current_trace_context, new_span_id, new_trace_id
 
 __all__ = [
     "SpanRecord",
@@ -60,6 +70,11 @@ class SpanRecord:
     depth: int = 0
     parent: int = -1  # index into Tracer.records; -1 = root span
     attrs: dict = field(default_factory=dict)
+    # Explicit identity (repro.obs.context): survives process boundaries
+    # where the index-based ``parent`` cannot.
+    trace_id: str = ""
+    span_id: str = ""
+    parent_span_id: str = ""  # "" = no parent anywhere (a true root)
 
     def to_dict(self) -> dict:
         return {
@@ -70,6 +85,9 @@ class SpanRecord:
             "depth": self.depth,
             "parent": self.parent,
             "attrs": dict(self.attrs),
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
         }
 
 
@@ -87,6 +105,14 @@ class _Span:
     def set(self, **attrs) -> None:
         """Attach attributes to the span (overwrites existing keys)."""
         self._tracer.records[self.index].attrs.update(attrs)
+
+    @property
+    def trace_id(self) -> str:
+        return self._tracer.records[self.index].trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self._tracer.records[self.index].span_id
 
     def __enter__(self) -> "_Span":
         return self
@@ -122,6 +148,31 @@ class Tracer:
         # cross-process anchor.  ``t0 + (epoch_ns - other.epoch_ns)/1e9``
         # re-bases a span from another tracer onto this one's timeline.
         self.epoch_ns = time.time_ns()
+        # Default trace identity for spans recorded with no ambient
+        # TraceContext installed (one offline run = one trace).
+        self.trace_id = new_trace_id()
+
+    def _identity(self, parent: int) -> tuple[str, str, str]:
+        """``(trace_id, span_id, parent_span_id)`` for a new record.
+
+        An ambient :class:`~repro.obs.context.TraceContext` on the
+        recording thread wins: its trace ID tags the span, and a *root*
+        span (no in-process parent) links to the context's span — that
+        is how a request's propagated identity reaches spans opened deep
+        inside the engine without threading arguments everywhere.
+        """
+        ctx = current_trace_context()
+        if parent >= 0:
+            rec = self.records[parent]
+            trace_id = rec.trace_id or (ctx.trace_id if ctx else self.trace_id)
+            parent_span_id = rec.span_id
+        elif ctx is not None:
+            trace_id = ctx.trace_id
+            parent_span_id = ctx.span_id
+        else:
+            trace_id = self.trace_id
+            parent_span_id = ""
+        return trace_id, new_span_id(), parent_span_id
 
     def now(self) -> float:
         """Seconds since this tracer's epoch — the ``t0`` scale of
@@ -132,12 +183,16 @@ class Tracer:
     def span(self, name: str, **attrs) -> _Span:
         """Open a span; use as ``with tracer.span("cd.run", key=val) as sp:``."""
         parent = self._stack[-1] if self._stack else -1
+        trace_id, span_id, parent_span_id = self._identity(parent)
         rec = SpanRecord(
             name=name,
             t0=time.perf_counter() - self._epoch,
             depth=len(self._stack),
             parent=parent,
             attrs=dict(attrs),
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_span_id=parent_span_id,
         )
         index = len(self.records)
         self.records.append(rec)
@@ -159,6 +214,9 @@ class Tracer:
         cpu_s: float = 0.0,
         parent: int = -1,
         attrs: dict | None = None,
+        trace_id: str | None = None,
+        span_id: str | None = None,
+        parent_span_id: str | None = None,
     ) -> int:
         """Append an already-measured span (no context manager involved).
 
@@ -167,10 +225,16 @@ class Tracer:
         parent from worker-reported start stamps.  ``t0`` is on this
         tracer's epoch; returns the new record's index.
 
+        ``trace_id``/``span_id``/``parent_span_id`` override the derived
+        identity — the service uses this to record a request span under
+        a *pre-minted* span ID (the one already echoed in the response's
+        ``traceparent``) with its propagated inbound parent.
+
         Thread-safe: may be called from concurrent dispatch threads.
         """
         with self._append_lock:
             depth = self.records[parent].depth + 1 if parent >= 0 else 0
+            d_trace, d_span, d_parent = self._identity(parent)
             rec = SpanRecord(
                 name=name,
                 t0=t0,
@@ -179,6 +243,11 @@ class Tracer:
                 depth=depth,
                 parent=parent,
                 attrs=dict(attrs or {}),
+                trace_id=trace_id if trace_id is not None else d_trace,
+                span_id=span_id if span_id is not None else d_span,
+                parent_span_id=(
+                    parent_span_id if parent_span_id is not None else d_parent
+                ),
             )
             self.records.append(rec)
             return len(self.records) - 1
@@ -207,6 +276,14 @@ class Tracer:
         worker offsets are unknowable, so roots are pinned to the start
         of the span at ``parent`` (never before this run's epoch) and
         descendants keep their offsets relative to their root.
+
+        Identity is *preserved*, never re-based: absorbed records keep
+        their ``trace_id``/``span_id``/``parent_span_id`` verbatim —
+        when a worker ran under a propagated
+        :class:`~repro.obs.context.TraceContext` its spans already carry
+        the request's trace ID and its roots already link to the
+        parent-side span.  Only records *without* IDs (legacy payloads)
+        get minted ones, linked under the record at ``parent``.
         """
         with self._append_lock:
             if epoch_ns is not None:
@@ -217,8 +294,25 @@ class Tracer:
                 shift = 0.0
             offset = len(self.records)
             base_depth = self.records[parent].depth + 1 if parent >= 0 else 0
+            assigned: list[str] = []  # span IDs per absorbed record, in order
             for d in records:
                 is_root = d["parent"] < 0
+                span_id = d.get("span_id") or new_span_id()
+                if d.get("trace_id"):
+                    trace_id = d["trace_id"]
+                elif parent >= 0:
+                    trace_id = self.records[parent].trace_id or self.trace_id
+                else:
+                    trace_id = self.trace_id
+                if d.get("parent_span_id"):
+                    parent_span_id = d["parent_span_id"]
+                elif not is_root:
+                    parent_span_id = assigned[d["parent"]]
+                elif parent >= 0:
+                    parent_span_id = self.records[parent].span_id
+                else:
+                    parent_span_id = ""
+                assigned.append(span_id)
                 rec = SpanRecord(
                     name=d["name"],
                     t0=d["t0"] + shift,
@@ -227,6 +321,9 @@ class Tracer:
                     depth=base_depth + d["depth"],
                     parent=parent if is_root else offset + d["parent"],
                     attrs=dict(d["attrs"]),
+                    trace_id=trace_id,
+                    span_id=span_id,
+                    parent_span_id=parent_span_id,
                 )
                 if attrs and is_root:
                     rec.attrs.update(attrs)
@@ -261,12 +358,16 @@ class Tracer:
         self._stack.clear()
         self._epoch = time.perf_counter()
         self.epoch_ns = time.time_ns()
+        self.trace_id = new_trace_id()
 
 
 class _NullSpan:
     """Shared do-nothing span; one instance serves every disabled call."""
 
     __slots__ = ()
+
+    trace_id = ""
+    span_id = ""
 
     def set(self, **attrs) -> None:
         pass
@@ -287,6 +388,7 @@ class NullTracer:
     enabled = False
     records: tuple = ()
     epoch_ns = 0
+    trace_id = ""
 
     def now(self) -> float:
         return 0.0
@@ -333,7 +435,17 @@ _CURRENT = _tracer_from_env()
 
 
 def get_tracer():
-    """The process-wide tracer instrumentation points report to."""
+    """The tracer instrumentation points report to.
+
+    Process-wide, with one per-thread override: a thread running under
+    an *unsampled* :class:`~repro.obs.context.TraceContext` sees the
+    no-op tracer instead — the head-sampling dropped path records
+    nothing without mutating the shared tracer other threads (and other
+    requests' sampled traces) are using.
+    """
+    ctx = current_trace_context()
+    if ctx is not None and not ctx.sampled:
+        return NULL_TRACER
     return _CURRENT
 
 
@@ -356,4 +468,4 @@ def use_tracer(tracer):
 
 
 def tracing_enabled() -> bool:
-    return _CURRENT.enabled
+    return get_tracer().enabled

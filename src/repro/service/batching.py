@@ -26,10 +26,23 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
+from repro.obs.context import TraceContext, use_trace_context
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 
-__all__ = ["Backpressure", "QueryBroker"]
+__all__ = ["Backpressure", "QueryBroker", "current_queue_wait_s"]
+
+
+# Dispatch-thread-local bookkeeping: how long the currently-running
+# computation sat in the queue.  The service's cost ledger reads it from
+# inside ``fn`` (same thread), so the broker doesn't need to thread the
+# number through every computation signature.
+_dispatch_tls = threading.local()
+
+
+def current_queue_wait_s() -> float:
+    """Queue wait of the computation running on *this* dispatch thread."""
+    return getattr(_dispatch_tls, "queue_wait_s", 0.0)
 
 
 class Backpressure(Exception):
@@ -76,7 +89,14 @@ class QueryBroker:
         with self._lock:
             return self._depth
 
-    def submit(self, key: str, fn, *, request_id: str | None = None) -> tuple[Future, bool]:
+    def submit(
+        self,
+        key: str,
+        fn,
+        *,
+        request_id: str | None = None,
+        trace_ctx: TraceContext | None = None,
+    ) -> tuple[Future, bool]:
         """Admit (or join) the computation for ``key``.
 
         Returns ``(future, coalesced)``: ``coalesced`` is True when an
@@ -87,6 +107,12 @@ class QueryBroker:
         ``request_id`` (when given) tags the admitting request's
         queue-wait span, so a trace answers "how long did request X sit
         in the dispatch queue" — joiners share the admitter's span.
+        ``trace_ctx`` is the admitting request's trace context: it is
+        installed ambiently on the dispatch thread while ``fn`` runs, so
+        every span recorded underneath (queue wait, the engine's own
+        tree, pool-worker spans) carries the request's trace ID.  An
+        *unsampled* context swaps in the no-op tracer for the duration —
+        the dropped path records nothing and costs nothing.
 
         ``fn`` must perform its own result publication (e.g. write the
         result cache) *before returning* — the in-flight key is retired
@@ -104,31 +130,44 @@ class QueryBroker:
             self._depth += 1
             get_metrics().gauge("service.queue.depth").set(self._depth)
             submitted = time.perf_counter()
-            future = self._executor.submit(self._run, key, fn, submitted, request_id)
+            future = self._executor.submit(
+                self._run, key, fn, submitted, request_id, trace_ctx
+            )
             self._inflight[key] = future
             return future, False
 
-    def _run(self, key: str, fn, submitted: float, request_id: str | None = None):
+    def _run(
+        self,
+        key: str,
+        fn,
+        submitted: float,
+        request_id: str | None = None,
+        trace_ctx: TraceContext | None = None,
+    ):
         wait_s = time.perf_counter() - submitted
+        _dispatch_tls.queue_wait_s = wait_s
         get_metrics().histogram("service.queue.wait_ms").observe(wait_s * 1e3)
-        tracer = get_tracer()
-        if tracer.enabled:
-            attrs = {"key": key[:12]}
-            if request_id is not None:
-                attrs["request_id"] = request_id
-            tracer.record_span(
-                "service.queue.wait",
-                t0=tracer.now() - wait_s,
-                wall_s=wait_s,
-                attrs=attrs,
-            )
-        try:
-            return fn()
-        finally:
-            with self._lock:
-                self._inflight.pop(key, None)
-                self._depth -= 1
-                get_metrics().gauge("service.queue.depth").set(self._depth)
+        with use_trace_context(trace_ctx):
+            # get_tracer() resolves to the no-op tracer under an
+            # unsampled context — the dropped path records nothing.
+            tracer = get_tracer()
+            if tracer.enabled:
+                attrs = {"key": key[:12]}
+                if request_id is not None:
+                    attrs["request_id"] = request_id
+                tracer.record_span(
+                    "service.queue.wait",
+                    t0=tracer.now() - wait_s,
+                    wall_s=wait_s,
+                    attrs=attrs,
+                )
+            try:
+                return fn()
+            finally:
+                with self._lock:
+                    self._inflight.pop(key, None)
+                    self._depth -= 1
+                    get_metrics().gauge("service.queue.depth").set(self._depth)
 
     def shutdown(self) -> None:
         """Drain queued work and stop the dispatch threads; idempotent."""

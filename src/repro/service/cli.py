@@ -15,8 +15,11 @@ The load generator replays ``-n`` queries from ``-c`` concurrent client
 threads, cycling through ``--distinct`` pivot variants — so identical
 requests land in flight together (exercising coalescing) and repeat
 after completion (exercising the result cache).  It reports throughput,
-latency percentiles, and per-status-code counts (the first non-200
-response body is kept verbatim for diagnosis), and ``--json`` writes a
+latency percentiles, per-status-code counts (the first non-200
+response body is kept verbatim for diagnosis), and per-query-class
+cost percentiles (attributed CPU and queue-wait from each response's
+cost ledger — the capacity-planning input for a sharding tier), and
+``--json`` writes a
 standard :mod:`repro.obs.report` run report, so serving performance is
 gated by ``repro-bench compare`` and inspected by ``repro-obs diff``
 exactly like bench runs.  ``--prometheus-check`` additionally scrapes
@@ -300,11 +303,16 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     retries_used = 0
     status_counts: dict[int, int] = {}
     first_error: dict | None = None  # {"status": int, "body": str} of the first non-200
+    # Per-query-class cost ledgers (class = variant index): each 200
+    # response carries the request's attributed cost, the capacity-
+    # planning signal a sharding tier sizes replicas by.
+    class_costs: dict[int, list[dict]] = {i: [] for i in range(len(variants))}
     lock = threading.Lock()
 
     def one(i: int) -> None:
         nonlocal ok, errors, retries_used, first_error
-        body = variants[i % len(variants)]
+        cls = i % len(variants)
+        body = variants[cls]
         t0 = time.perf_counter()
         for attempt in range(args.retries + 1):
             status, payload, headers = _http_json(f"{base}/v1/cd", dict(body))
@@ -321,6 +329,9 @@ def main_loadgen(argv: list[str] | None = None) -> int:
             if status == 200:
                 ok += 1
                 latencies_ms.append(elapsed_ms)
+                cost = payload.get("cost")
+                if isinstance(cost, dict):
+                    class_costs[cls].append(cost)
             else:
                 errors += 1
                 if first_error is None:
@@ -359,6 +370,33 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     )
     print(f"latency ms: p50 {p50:.1f}  p95 {p95:.1f}  p99 {p99:.1f}  mean {mean_ms:.1f}")
     print(f"cache hit rate {hit_rate:.0%} ({hits:g} hits), {coalesced:g} coalesced")
+
+    # -- per-class cost percentiles ---------------------------------------
+    cost_rows: list[list] = []
+    for cls in sorted(class_costs):
+        ledgers = class_costs[cls]
+        if not ledgers:
+            continue
+        cpu = sorted(c.get("cpu_ms", 0.0) for c in ledgers)
+        queue = sorted(c.get("queue_wait_ms", 0.0) for c in ledgers)
+        computed = sum(1 for c in ledgers if c.get("served") == "computed")
+        cost_rows.append([
+            cls, len(ledgers),
+            round(_percentile(cpu, 0.50), 2), round(_percentile(cpu, 0.95), 2),
+            round(_percentile(queue, 0.50), 2), round(_percentile(queue, 0.95), 2),
+            computed,
+        ])
+    if cost_rows:
+        print("cost per query class (attributed CPU / queue-wait ms):")
+        print(
+            f"  {'class':>5} {'n':>5} {'cpu p50':>9} {'cpu p95':>9} "
+            f"{'queue p50':>10} {'queue p95':>10} {'computed':>9}"
+        )
+        for row in cost_rows:
+            print(
+                f"  {row[0]:>5} {row[1]:>5} {row[2]:>9.2f} {row[3]:>9.2f} "
+                f"{row[4]:>10.2f} {row[5]:>10.2f} {row[6]:>9}"
+            )
     print(
         "status codes: "
         + "  ".join(f"{code}×{n}" for code, n in sorted(status_counts.items()))
@@ -392,6 +430,14 @@ def main_loadgen(argv: list[str] | None = None) -> int:
         reg.gauge("loadgen.rps").set(rps)
         reg.gauge("loadgen.cache_hit_rate").set(hit_rate)
         reg.histogram("loadgen.latency_ms").observe_many(latencies_ms or [0.0])
+        all_costs = [c for ledgers in class_costs.values() for c in ledgers]
+        if all_costs:
+            reg.histogram("loadgen.cost.cpu_ms").observe_many(
+                [c.get("cpu_ms", 0.0) for c in all_costs]
+            )
+            reg.histogram("loadgen.cost.queue_wait_ms").observe_many(
+                [c.get("queue_wait_ms", 0.0) for c in all_costs]
+            )
         report = build_report(
             "loadgen",
             metrics=reg,
@@ -418,7 +464,15 @@ def main_loadgen(argv: list[str] | None = None) -> int:
                     args.requests, ok, errors, round(rps, 2),
                     round(p50, 2), round(p95, 2), round(p99, 2), round(hit_rate, 4),
                 ]],
-            }],
+            }] + ([{
+                "exp_id": "loadgen.cost",
+                "title": "Attributed cost percentiles per query class",
+                "headers": [
+                    "class", "n", "cpu_p50_ms", "cpu_p95_ms",
+                    "queue_p50_ms", "queue_p95_ms", "computed",
+                ],
+                "rows": cost_rows,
+            }] if cost_rows else []),
         )
         try:
             report.save(args.json)

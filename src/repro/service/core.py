@@ -34,10 +34,11 @@ from repro.cd.pathrun import run_along_path
 from repro.cd.scene import Scene
 from repro.cd.traversal import TraversalConfig, run_cd
 from repro.engine.workspace import Workspace, use_workspace
+from repro.obs.context import TraceContext, current_trace_context
 from repro.obs.metrics import get_metrics
 from repro.obs.trace import get_tracer
 from repro.obs.window import RequestWindow
-from repro.service.batching import QueryBroker
+from repro.service.batching import QueryBroker, current_queue_wait_s
 from repro.service.cache import ResultCache
 from repro.service.registry import SceneRegistry, UnknownSceneError
 
@@ -172,12 +173,23 @@ class QuerySpec:
 
 @dataclass
 class QueryResult:
-    """One answered query: the payload plus how it was served."""
+    """One answered query: the payload plus how it was served.
+
+    ``trace_ctx`` — when the caller propagated one into :meth:`Service.query`
+    — is the *request span's* context: its ``span_id`` names the
+    ``service.request`` span recorded for this request, so the front end
+    echoes it as the response ``traceparent``.  ``cost`` is the
+    per-request cost ledger (attributed CPU-ms, workspace bytes,
+    queue-wait ms, disposition) — per *request*, never cached with the
+    payload.
+    """
 
     payload: dict  # the computed (and cached) result data
     cached: bool  # served from the result cache, zero traversals
     coalesced: bool  # joined an identical in-flight computation
     request_id: str | None = None  # identity of the request this answered
+    trace_ctx: TraceContext | None = None  # this request's span identity
+    cost: dict | None = None  # per-request cost ledger
 
     @property
     def accessible(self) -> np.ndarray:
@@ -197,6 +209,8 @@ class QueryResult:
         out["coalesced"] = self.coalesced
         if self.request_id is not None:
             out["request_id"] = self.request_id
+        if self.cost is not None:
+            out["cost"] = dict(self.cost)
         return out
 
 
@@ -255,6 +269,7 @@ class Service:
         *,
         timeout: float | None = None,
         request_id: str | None = None,
+        trace_ctx: TraceContext | None = None,
     ) -> QueryResult:
         """Answer one query through cache -> coalescing -> computation.
 
@@ -264,6 +279,15 @@ class Service:
         ``service.request`` span, and the returned result, so one ID
         correlates the access-log line, the trace, and the response.
 
+        ``trace_ctx`` is the *caller's* trace context (the inbound
+        ``traceparent``, or one the front end minted).  This method
+        mints the next hop — a fresh span ID that becomes the request's
+        ``service.request`` span, parented on the caller's span — and
+        returns it on :attr:`QueryResult.trace_ctx` for the response
+        echo.  An unsampled context short-circuits all span recording
+        (the no-op tracer path) while leaving the served bytes and the
+        metrics identical.
+
         Raises :class:`~repro.service.batching.Backpressure` when the
         dispatch queue is full, :class:`UnknownSceneError` for an
         unregistered scene digest.
@@ -272,26 +296,134 @@ class Service:
             raise RuntimeError("service is closed")
         # Fail unknown scenes fast, before burning a queue slot.
         self.registry.get(spec.scene)
+        child = trace_ctx.child() if trace_ctx is not None else None
         key = spec.digest()
+        t_start = time.perf_counter()
         payload = self.cache.get(key)
         if payload is not None:
             self._count_request(served="cache")
-            return QueryResult(
-                payload=payload, cached=True, coalesced=False, request_id=request_id
+            cost = {
+                "served": "cache",
+                "cpu_ms": 0.0,
+                "workspace_bytes": 0,
+                "queue_wait_ms": 0.0,
+            }
+            self._export_cost(cost)
+            self._record_request_span(
+                child,
+                served="cache",
+                wall_s=time.perf_counter() - t_start,
+                cost=cost,
+                request_id=request_id,
+                scene=spec.scene,
             )
+            return QueryResult(
+                payload=payload, cached=True, coalesced=False,
+                request_id=request_id, trace_ctx=child, cost=cost,
+            )
+        cost_out: dict = {}
         future, coalesced = self.broker.submit(
-            key, lambda: self._compute(spec, key, request_id), request_id=request_id
+            key,
+            lambda: self._compute(spec, key, request_id, cost_out),
+            request_id=request_id,
+            trace_ctx=child,
         )
         payload = future.result(timeout=timeout)
         self._count_request(served="coalesced" if coalesced else "computed")
+        if coalesced:
+            # The joiner's cost is pure waiting: the computation (and its
+            # cost ledger in ``cost_out``'s twin) belongs to the admitting
+            # request; this request burned no CPU and took no workspace.
+            waited = time.perf_counter() - t_start
+            cost = {
+                "served": "coalesced",
+                "cpu_ms": 0.0,
+                "workspace_bytes": 0,
+                "queue_wait_ms": waited * 1e3,
+            }
+            self._export_cost(cost)
+            self._record_request_span(
+                child,
+                served="coalesced",
+                wall_s=waited,
+                cost=cost,
+                request_id=request_id,
+                scene=spec.scene,
+            )
+        else:
+            # _compute filled the ledger (and recorded the span under the
+            # propagated context) on the dispatch thread.
+            cost = dict(cost_out) if cost_out else {
+                "served": "computed",
+                "cpu_ms": 0.0,
+                "workspace_bytes": 0,
+                "queue_wait_ms": 0.0,
+            }
         return QueryResult(
-            payload=payload, cached=False, coalesced=coalesced, request_id=request_id
+            payload=payload, cached=False, coalesced=coalesced,
+            request_id=request_id, trace_ctx=child, cost=cost,
         )
 
     def _count_request(self, served: str) -> None:
         metrics = get_metrics()
         metrics.counter("service.requests").inc()
         metrics.counter(f"service.requests.{served}").inc()
+
+    @staticmethod
+    def _export_cost(cost: dict) -> None:
+        """Aggregate one request's cost ledger into ``service.cost.*``."""
+        metrics = get_metrics()
+        metrics.histogram("service.cost.cpu_ms").observe(cost["cpu_ms"])
+        metrics.histogram("service.cost.queue_wait_ms").observe(cost["queue_wait_ms"])
+        metrics.histogram("service.cost.workspace_bytes").observe(
+            cost["workspace_bytes"]
+        )
+
+    @staticmethod
+    def _cost_attrs(cost: dict) -> dict:
+        return {
+            "cost.served": cost["served"],
+            "cost.cpu_ms": cost["cpu_ms"],
+            "cost.workspace_bytes": cost["workspace_bytes"],
+            "cost.queue_wait_ms": cost["queue_wait_ms"],
+        }
+
+    def _record_request_span(
+        self,
+        ctx: TraceContext | None,
+        *,
+        served: str,
+        wall_s: float,
+        cost: dict,
+        request_id: str | None,
+        scene: str,
+    ) -> None:
+        """A ``service.request`` span for a request that ran no compute.
+
+        Cache hits and coalesced joiners still deserve a span — their
+        ``trace_ctx`` was already promised to the caller as the response
+        ``traceparent``, so the span it names must exist in the export.
+        Only recorded under a propagated *sampled* context: direct
+        library callers (no context) keep the pre-propagation behavior
+        of one span per computation.
+        """
+        if ctx is None or not ctx.sampled:
+            return
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return
+        attrs = {"served": served, "scene": scene[:12], **self._cost_attrs(cost)}
+        if request_id is not None:
+            attrs["request_id"] = request_id
+        tracer.record_span(
+            "service.request",
+            t0=tracer.now() - wall_s,
+            wall_s=wall_s,
+            attrs=attrs,
+            trace_id=ctx.trace_id,
+            span_id=ctx.span_id,
+            parent_span_id=ctx.parent_id,
+        )
 
     def _thread_workspace(self) -> Workspace:
         ws = getattr(self._ws_tls, "workspace", None)
@@ -308,18 +440,41 @@ class Service:
                 pool = self._pools[workers] = WorkerPool(workers)
             return pool
 
-    def _compute(self, spec: QuerySpec, key: str, request_id: str | None = None) -> dict:
+    @staticmethod
+    def _counter_snapshot() -> dict[str, float]:
+        return {
+            name: m["value"]
+            for name, m in get_metrics().as_dict().items()
+            if m.get("type") == "counter"
+        }
+
+    def _compute(
+        self,
+        spec: QuerySpec,
+        key: str,
+        request_id: str | None = None,
+        cost_out: dict | None = None,
+    ) -> dict:
         """Run the actual CD work for one admitted query (broker thread).
 
         Writes the result cache *before returning* — the broker retires
         the in-flight key right after, and the cache must already hold
         the result by then (no coalesce-nor-cache window).
+
+        ``cost_out`` — when given — receives the request's cost ledger:
+        CPU thread-time actually burned on this dispatch thread,
+        workspace/arena bytes held, queue-wait, and disposition.  It
+        travels out-of-band because the payload is shared (cached,
+        coalesced) while cost belongs to one request.
         """
         from repro.engine.pool import use_pool
         from repro.geometry.orientation import OrientationGrid
 
         tracer = get_tracer()
+        ctx = current_trace_context()
         t0 = time.perf_counter()
+        cpu_t0 = time.thread_time()
+        counters_before = self._counter_snapshot() if tracer.enabled else None
         scene = self.registry.get(spec.scene)
         if spec.pivot is not None:
             # A pivot override is a different problem instance; register
@@ -393,6 +548,22 @@ class Service:
         elapsed = time.perf_counter() - t0
         payload["elapsed_s"] = elapsed
         get_metrics().histogram("service.request.ms").observe(elapsed * 1e3)
+        # The cost ledger: what this request actually consumed.  CPU is
+        # this dispatch thread's thread-time (the serial path and the
+        # parent side of a parallel run); workspace bytes are the arena
+        # bytes held for the request (thread workspace + shared scene
+        # arena when sharded); queue-wait comes from the broker's
+        # thread-local stamp for this very computation.
+        ws_held = self._thread_workspace().stats()["bytes_held"]
+        cost = {
+            "served": "computed",
+            "cpu_ms": (time.thread_time() - cpu_t0) * 1e3,
+            "workspace_bytes": int(ws_held + (arena.nbytes if arena is not None else 0)),
+            "queue_wait_ms": current_queue_wait_s() * 1e3,
+        }
+        self._export_cost(cost)
+        if cost_out is not None:
+            cost_out.update(cost)
         if tracer.enabled:
             # record_span, not span(): broker threads must not touch the
             # tracer's nesting stack, which belongs to whoever owns it.
@@ -402,17 +573,44 @@ class Service:
                 "scene": digest[:12],
                 "orientations": grid.size,
                 "workers": workers,
+                **self._cost_attrs(cost),
             }
             if request_id is not None:
                 # The ID of the request that *initiated* the computation;
                 # coalesced joiners share this span (and this ID ties it
                 # back to that request's access-log line).
                 attrs["request_id"] = request_id
+            if counters_before is not None:
+                # The counters this computation moved, largest first —
+                # bounded so span attributes stay small.
+                after = self._counter_snapshot()
+                deltas = {
+                    name: value - counters_before.get(name, 0)
+                    for name, value in after.items()
+                    if value != counters_before.get(name, 0)
+                }
+                top = dict(
+                    sorted(deltas.items(), key=lambda kv: abs(kv[1]), reverse=True)[:8]
+                )
+                if top:
+                    attrs["cost.counters"] = top
+            identity = {}
+            if ctx is not None:
+                # The span ID was pre-minted by query() and already
+                # promised to the caller in the response traceparent;
+                # its parent is the caller's (possibly remote) span.
+                identity = {
+                    "trace_id": ctx.trace_id,
+                    "span_id": ctx.span_id,
+                    "parent_span_id": ctx.parent_id,
+                }
             tracer.record_span(
                 "service.request",
                 t0=tracer.now() - elapsed,
                 wall_s=elapsed,
+                cpu_s=cost["cpu_ms"] / 1e3,
                 attrs=attrs,
+                **identity,
             )
         self.cache.put(key, payload, nbytes=payload["map"].nbytes + 512)
         return payload

@@ -21,14 +21,24 @@ Endpoints (all JSON bodies/responses):
   exposition format for scrapers (:mod:`repro.obs.expo`).
 
 Request-scoped observability: every request carries an ID — an inbound
-``X-Request-Id`` header is honored, otherwise one is minted — echoed in
+``X-Request-Id`` header is honored when it matches the
+``[A-Za-z0-9_-]{1,64}`` allowlist (anything else is replaced, closing
+the header/log-injection hole), otherwise one is minted — echoed in
 the response header (and the ``/v1/cd`` body), threaded through
 ``Service.query()`` into the queue-wait and ``service.request`` trace
 spans, and stamped on the structured JSON access-log line written per
-request (:mod:`repro.obs.log`, ``REPRO_ACCESS_LOG``).  Unexpected
-handler exceptions answer a JSON ``500`` carrying that ID (and bump
-``service.errors`` / ``service.errors.<route>.<code>``) instead of
-leaking a stdlib traceback over a dead connection.
+request (:mod:`repro.obs.log`, ``REPRO_ACCESS_LOG``) along with the
+request's ``trace_id`` and queue wait.  Every request also carries a
+W3C trace context (:mod:`repro.obs.context`): an inbound
+``traceparent`` is honored (including its sampling flag), otherwise a
+fresh trace ID is minted and head-sampled per ``REPRO_TRACE_SAMPLE``;
+``/v1/cd`` responses echo ``traceparent`` naming the request's own
+span so an upstream router can stitch cross-replica traces
+(``service.trace.sampled`` / ``.dropped`` count the decisions).
+Unexpected handler exceptions answer a JSON ``500`` carrying the
+request ID (and bump ``service.errors`` /
+``service.errors.<route>.<code>``) instead of leaking a stdlib
+traceback over a dead connection.
 
 The server is a :class:`http.server.ThreadingHTTPServer`: cheap,
 dependency-free, and sufficient because request threads only parse JSON
@@ -42,6 +52,7 @@ import base64
 import io
 import json
 import os
+import re
 import time
 import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -49,6 +60,16 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 import numpy as np
 
 from repro.cd.scene import Scene
+from repro.obs.context import (
+    TRACEPARENT_HEADER,
+    TRACESTATE_HEADER,
+    TraceContext,
+    format_traceparent,
+    new_trace_id,
+    parse_traceparent,
+    sample_rate_from_env,
+    trace_sampled,
+)
 from repro.obs.expo import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
 from repro.obs.expo import render_prometheus
 from repro.obs.log import get_access_log, new_request_id
@@ -65,6 +86,12 @@ __all__ = ["scene_from_request", "tool_from_spec", "ServiceHTTPServer", "serve"]
 _UNWINDOWED_ROUTES = frozenset({"/v1/healthz", "/v1/metrics"})
 
 _KNOWN_ROUTES = frozenset({"/v1/scenes", "/v1/cd", "/v1/healthz", "/v1/metrics"})
+
+# Inbound X-Request-Id values are echoed into response headers and
+# access-log lines; anything outside this allowlist (length-bounded,
+# no CR/LF or exotic bytes) is replaced with a freshly minted ID so a
+# hostile client can't inject headers or forge log lines.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 
 
 def _route_label(path: str) -> str:
@@ -162,6 +189,10 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
         self.send_header("X-Request-Id", self._request_id)
+        if self._response_traceparent:
+            self.send_header(TRACEPARENT_HEADER, self._response_traceparent)
+            if self._trace_ctx is not None and self._trace_ctx.tracestate:
+                self.send_header(TRACESTATE_HEADER, self._trace_ctx.tracestate)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -184,14 +215,35 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
         self._handle("POST", self._route_post)
 
+    def _trace_context(self) -> TraceContext:
+        """The request's trace context: inbound ``traceparent`` honored
+        (including its ``sampled`` flag), anything malformed or absent
+        minted fresh with the head-sampling decision from
+        ``REPRO_TRACE_SAMPLE``.  ``tracestate`` rides along verbatim."""
+        ctx = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
+        if ctx is None:
+            trace_id = new_trace_id()
+            ctx = TraceContext(
+                trace_id=trace_id,
+                sampled=trace_sampled(trace_id, sample_rate_from_env()),
+            )
+        tracestate = (self.headers.get(TRACESTATE_HEADER) or "").strip()
+        if tracestate:
+            ctx = TraceContext(
+                trace_id=ctx.trace_id, span_id=ctx.span_id,
+                sampled=ctx.sampled, tracestate=tracestate,
+            )
+        return ctx
+
     def _handle(self, verb: str, route_fn) -> None:
         """Wrap one request: ID, timing, error fence, window, access log."""
         t0 = time.perf_counter()
-        self._request_id = (
-            (self.headers.get("X-Request-Id") or "").strip() or new_request_id()
-        )
+        raw_id = (self.headers.get("X-Request-Id") or "").strip()
+        self._request_id = raw_id if _REQUEST_ID_RE.match(raw_id) else new_request_id()
         self._status: int | None = None
-        self._log_fields: dict = {}
+        self._trace_ctx = self._trace_context()
+        self._response_traceparent: str | None = None
+        self._log_fields: dict = {"trace_id": self._trace_ctx.trace_id}
         path = urllib.parse.urlsplit(self.path).path
         try:
             route_fn(path)
@@ -280,6 +332,14 @@ class _Handler(BaseHTTPRequestHandler):
                 "tool": scene.tool.name,
             })
         elif path == "/v1/cd":
+            ctx = self._trace_ctx
+            get_metrics().counter(
+                "service.trace.sampled" if ctx.sampled else "service.trace.dropped"
+            ).inc()
+            # An error answered before query() mints the request span
+            # still echoes a well-formed traceparent (fresh span ID) so
+            # the caller can join its retry to the same trace.
+            self._response_traceparent = format_traceparent(ctx.child())
             include_map = bool(body.pop("include_map", True))
             try:
                 spec = QuerySpec.from_dict(body)
@@ -288,7 +348,9 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             self._log_fields["scene"] = spec.scene[:12]
             try:
-                result = service.query(spec, request_id=self._request_id)
+                result = service.query(
+                    spec, request_id=self._request_id, trace_ctx=ctx
+                )
             except UnknownSceneError:
                 self._send_json(404, {"error": f"unknown scene {spec.scene!r}"})
                 return
@@ -300,7 +362,14 @@ class _Handler(BaseHTTPRequestHandler):
                     headers={"Retry-After": f"{max(1, round(exc.retry_after_s))}"},
                 )
                 return
+            # The definitive echo: the span ID under which this request
+            # was actually recorded.
+            self._response_traceparent = format_traceparent(result.trace_ctx)
             self._log_fields["served"] = result.served
+            if result.cost is not None:
+                self._log_fields["queue_wait_ms"] = round(
+                    result.cost["queue_wait_ms"], 3
+                )
             self._send_json(200, result.to_dict(include_map=include_map))
         else:
             self._send_json(404, {"error": f"no route {path!r}"})

@@ -1,0 +1,245 @@
+"""W3C trace-context: codec fuzz, sampling, identity, pool propagation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.context import (
+    TraceContext,
+    current_trace_context,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    sample_rate_from_env,
+    trace_sampled,
+    use_trace_context,
+)
+from repro.obs.trace import Tracer, get_tracer, use_tracer
+
+TID = "4bf92f3577b34da6a3ce929d0e0e4736"
+SID = "00f067aa0ba902b7"
+
+
+class TestParseTraceparent:
+    def test_valid_sampled(self):
+        ctx = parse_traceparent(f"00-{TID}-{SID}-01")
+        assert ctx is not None
+        assert ctx.trace_id == TID and ctx.span_id == SID and ctx.sampled
+
+    def test_valid_unsampled(self):
+        ctx = parse_traceparent(f"00-{TID}-{SID}-00")
+        assert ctx is not None and not ctx.sampled
+
+    def test_whitespace_tolerated(self):
+        assert parse_traceparent(f"  00-{TID}-{SID}-01  ") is not None
+
+    def test_future_version_accepted(self):
+        # Unknown versions parse their first four fields (forward compat),
+        # including trailing extra fields.
+        assert parse_traceparent(f"cc-{TID}-{SID}-01-extra") is not None
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            "",
+            "garbage",
+            f"00-{TID}-{SID}",  # missing flags
+            f"00-{TID}-{SID}-01-extra",  # version 00 forbids extra fields
+            f"ff-{TID}-{SID}-01",  # version ff forbidden
+            f"0-{TID}-{SID}-01",  # short version
+            f"00-{TID[:31]}-{SID}-01",  # short trace id
+            f"00-{TID}x-{SID}-01",  # long trace id
+            f"00-{'0' * 32}-{SID}-01",  # all-zero trace id
+            f"00-{TID}-{'0' * 16}-01",  # all-zero span id
+            f"00-{TID}-{SID[:15]}-01",  # short span id
+            f"00-{TID.upper()}-{SID}-01",  # uppercase hex forbidden
+            f"00-{TID}-{SID}-1",  # short flags
+            f"00-{TID}-{SID}-zz",  # non-hex flags
+        ],
+    )
+    def test_malformed_means_none_never_raises(self, value):
+        assert parse_traceparent(value) is None
+
+    def test_roundtrip(self):
+        ctx = TraceContext(trace_id=TID, span_id=SID, sampled=False)
+        assert parse_traceparent(format_traceparent(ctx)) == ctx
+        ctx = TraceContext(trace_id=TID, span_id=SID, sampled=True)
+        assert parse_traceparent(format_traceparent(ctx)) == ctx
+
+    def test_format_needs_span(self):
+        with pytest.raises(ValueError):
+            format_traceparent(TraceContext(trace_id=TID))
+
+
+class TestTraceContext:
+    def test_id_validation(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="0" * 32)
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="zz" * 16)
+        with pytest.raises(ValueError):
+            TraceContext(trace_id=TID, span_id="nope")
+
+    def test_child_mints_and_links(self):
+        parent = TraceContext(trace_id=TID, span_id=SID)
+        child = parent.child()
+        assert child.trace_id == TID
+        assert child.span_id and child.span_id != SID
+        assert child.parent_id == SID
+
+    def test_minted_ids_are_well_formed(self):
+        for _ in range(32):
+            assert parse_traceparent(f"00-{new_trace_id()}-{new_span_id()}-01")
+
+    def test_ambient_scoping(self):
+        assert current_trace_context() is None
+        ctx = TraceContext(trace_id=TID, span_id=SID)
+        with use_trace_context(ctx):
+            assert current_trace_context() is ctx
+            with use_trace_context(None):
+                assert current_trace_context() is None
+        assert current_trace_context() is None
+
+
+class TestSampling:
+    def test_extremes(self):
+        assert trace_sampled(TID, 1.0) and trace_sampled(TID, 2.0)
+        assert not trace_sampled(TID, 0.0) and not trace_sampled(TID, -1.0)
+
+    def test_deterministic(self):
+        tid = new_trace_id()
+        assert trace_sampled(tid, 0.37) == trace_sampled(tid, 0.37)
+
+    def test_ratio_roughly_holds(self):
+        n = 2000
+        hits = sum(trace_sampled(new_trace_id(), 0.5) for _ in range(n))
+        assert 0.4 * n < hits < 0.6 * n
+
+    def test_monotone_in_rate(self):
+        # A trace sampled at rate p is sampled at every rate above p.
+        for _ in range(64):
+            tid = new_trace_id()
+            if trace_sampled(tid, 0.25):
+                assert trace_sampled(tid, 0.75)
+
+    def test_rate_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_SAMPLE", raising=False)
+        assert sample_rate_from_env() == 1.0
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0.25")
+        assert sample_rate_from_env() == 0.25
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "7")
+        assert sample_rate_from_env() == 1.0  # clamped
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "nonsense")
+        assert sample_rate_from_env() == 1.0  # unparsable -> default
+
+    def test_unsampled_context_nulls_the_tracer(self):
+        tracer = Tracer()
+        dropped = TraceContext(trace_id=TID, span_id=SID, sampled=False)
+        with use_tracer(tracer):
+            assert get_tracer() is tracer
+            with use_trace_context(dropped):
+                assert not get_tracer().enabled
+            assert get_tracer() is tracer
+
+
+class TestSpanIdentity:
+    def test_every_span_has_ids(self):
+        t = Tracer()
+        with t.span("root"):
+            with t.span("child"):
+                pass
+        root, child = t.to_dicts()
+        assert root["trace_id"] == child["trace_id"] == t.trace_id
+        assert root["span_id"] != child["span_id"]
+        assert root["parent_span_id"] == ""
+        assert child["parent_span_id"] == root["span_id"]
+
+    def test_ambient_context_drives_roots(self):
+        ctx = TraceContext(trace_id=TID, span_id=SID)
+        t = Tracer()
+        with use_trace_context(ctx), t.span("served"):
+            pass
+        (rec,) = t.to_dicts()
+        assert rec["trace_id"] == TID
+        assert rec["parent_span_id"] == SID
+
+    def test_absorb_preserves_ids(self):
+        ctx = TraceContext(trace_id=TID, span_id=SID)
+        worker = Tracer()
+        with use_trace_context(ctx):
+            with worker.span("w.root"):
+                with worker.span("w.child"):
+                    pass
+        parent = Tracer()
+        with parent.span("traversal") as tsp:
+            pass
+        parent.absorb(worker.to_dicts(), parent=tsp.index, epoch_ns=worker.epoch_ns)
+        absorbed = parent.to_dicts()[1:]
+        originals = worker.to_dicts()
+        assert [a["span_id"] for a in absorbed] == [o["span_id"] for o in originals]
+        assert all(a["trace_id"] == TID for a in absorbed)
+        # The worker root still links to the propagated parent span, not
+        # to the local record it hangs under.
+        assert absorbed[0]["parent_span_id"] == SID
+
+    def test_absorb_mints_for_legacy_payloads(self):
+        parent = Tracer()
+        with parent.span("traversal") as tsp:
+            pass
+        legacy = [
+            {"name": "a", "t0": 0.0, "wall_s": 0.1, "cpu_s": 0.0, "depth": 0,
+             "parent": -1, "attrs": {}},
+            {"name": "b", "t0": 0.0, "wall_s": 0.1, "cpu_s": 0.0, "depth": 1,
+             "parent": 0, "attrs": {}},
+        ]
+        parent.absorb(legacy, parent=tsp.index)
+        a, b = parent.to_dicts()[1:]
+        assert a["span_id"] and b["span_id"]
+        assert a["trace_id"] == parent.trace_id
+        assert b["parent_span_id"] == a["span_id"]
+        assert a["parent_span_id"] == parent.to_dicts()[0]["span_id"]
+
+
+class TestPoolPropagationParity:
+    """workers=1 vs workers=2: same trace ID everywhere, parents resolve."""
+
+    @pytest.fixture(scope="class")
+    def scene(self, sphere_scene):
+        return sphere_scene
+
+    def _run(self, scene, workers: int):
+        from repro.cd.methods import method_by_name
+        from repro.cd.traversal import run_cd
+        from repro.geometry.orientation import OrientationGrid
+
+        tracer = Tracer()
+        ctx = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+        with use_tracer(tracer), use_trace_context(ctx):
+            result = run_cd(
+                scene, OrientationGrid(6, 6), method_by_name("AICA"),
+                workers=workers,
+            )
+        return ctx, tracer.to_dicts(), result
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_one_trace_resolvable_parents(self, scene, workers):
+        ctx, spans, _ = self._run(scene, workers)
+        assert spans
+        assert all(s["trace_id"] == ctx.trace_id for s in spans)
+        ids = {s["span_id"] for s in spans}
+        assert len(ids) == len(spans)  # unique
+        for s in spans:
+            parent = s["parent_span_id"]
+            assert parent == "" or parent == ctx.span_id or parent in ids
+
+    def test_worker_count_does_not_change_map(self, scene):
+        _, spans1, r1 = self._run(scene, 1)
+        _, spans2, r2 = self._run(scene, 2)
+        assert np.array_equal(r1.collides, r2.collides)
+        # Parallel runs really did shard: worker roots are absorbed with
+        # pool attribution and still carry the propagated trace.
+        attributed = [s for s in spans2 if "pool_worker" in s["attrs"]]
+        assert attributed

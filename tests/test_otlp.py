@@ -1,0 +1,192 @@
+"""OTLP-JSON export, the strict validator, and the cost CLI surfaces."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import main as obs_main
+from repro.obs.context import TraceContext, new_span_id, new_trace_id, use_trace_context
+from repro.obs.otlp import otlp_json, otlp_spans, to_otlp, validate_otlp
+from repro.obs.report import build_report
+from repro.obs.trace import Tracer
+
+
+def _traced_tracer() -> Tracer:
+    t = Tracer()
+    with t.span("cd.run", method="AICA"):
+        with t.span("cd.traversal"):
+            pass
+        with t.span("simt.replay", error="boom"):
+            pass
+    return t
+
+
+class TestRender:
+    def test_structure_and_validity(self):
+        t = _traced_tracer()
+        doc = to_otlp(t, service_name="repro", label="unit")
+        assert validate_otlp(doc) == []
+        spans = otlp_spans(doc)
+        assert [s["name"] for s in spans] == ["cd.run", "cd.traversal", "simt.replay"]
+        # Parent links follow the in-process tree.
+        run, trav, simt = spans
+        assert "parentSpanId" not in run
+        assert trav["parentSpanId"] == run["spanId"]
+        assert simt["parentSpanId"] == run["spanId"]
+        assert len({s["traceId"] for s in spans}) == 1
+
+    def test_times_are_string_nanos_and_ordered(self):
+        doc = to_otlp(_traced_tracer())
+        for s in otlp_spans(doc):
+            assert isinstance(s["startTimeUnixNano"], str)
+            assert int(s["endTimeUnixNano"]) >= int(s["startTimeUnixNano"])
+
+    def test_error_attribute_becomes_error_status(self):
+        doc = to_otlp(_traced_tracer())
+        simt = otlp_spans(doc)[2]
+        assert simt["status"]["code"] == 2
+        assert "boom" in simt["status"]["message"]
+
+    def test_attribute_typing(self):
+        t = Tracer()
+        with t.span("s", count=3, ratio=0.5, label="x", flag=True, items=[1, 2]):
+            pass
+        (span,) = otlp_spans(to_otlp(t))
+        values = {kv["key"]: kv["value"] for kv in span["attributes"]}
+        assert values["count"] == {"intValue": "3"}  # proto-JSON int64 = string
+        assert values["ratio"] == {"doubleValue": 0.5}
+        assert values["label"] == {"stringValue": "x"}
+        assert values["flag"] == {"boolValue": True}
+        assert values["items"]["arrayValue"]["values"][0] == {"intValue": "1"}
+
+    def test_cpu_time_rides_as_attribute(self):
+        spans = [{"name": "a", "t0": 0.0, "wall_s": 1.0, "cpu_s": 0.25,
+                  "parent": -1, "attrs": {}}]
+        (span,) = otlp_spans(to_otlp(spans))
+        values = {kv["key"]: kv["value"] for kv in span["attributes"]}
+        assert values["cpu_ms"] == {"doubleValue": 250.0}
+
+    def test_legacy_spans_get_minted_deterministic_ids(self):
+        legacy = [
+            {"name": "a", "t0": 0.0, "wall_s": 1.0, "cpu_s": 0.0, "parent": -1,
+             "attrs": {}},
+            {"name": "b", "t0": 0.1, "wall_s": 0.5, "cpu_s": 0.0, "parent": 0,
+             "attrs": {}},
+        ]
+        doc1 = to_otlp(legacy, label="r")
+        doc2 = to_otlp(legacy, label="r")
+        assert validate_otlp(doc1) == []
+        assert doc1 == doc2  # deterministic
+        a1, b1 = otlp_spans(doc1)
+        assert b1["parentSpanId"] == a1["spanId"]
+
+    def test_explicit_ids_win_over_index_links(self):
+        ctx = TraceContext(trace_id=new_trace_id(), span_id=new_span_id())
+        t = Tracer()
+        with use_trace_context(ctx), t.span("served"):
+            pass
+        doc = to_otlp(t)
+        (span,) = otlp_spans(doc)
+        assert span["traceId"] == ctx.trace_id
+        assert span["parentSpanId"] == ctx.span_id
+        # The remote parent is outside the payload: flagged unless allowed.
+        assert validate_otlp(doc) != []
+        assert validate_otlp(doc, allow_unresolved_parents={ctx.span_id}) == []
+
+    def test_json_serializes(self):
+        json.loads(otlp_json(_traced_tracer()))
+
+
+class TestValidator:
+    def _valid_doc(self):
+        return to_otlp(_traced_tracer())
+
+    def test_rejects_non_document(self):
+        assert validate_otlp([]) and validate_otlp("x") and validate_otlp({})
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda s: s.pop("traceId"),
+            lambda s: s.pop("startTimeUnixNano"),
+            lambda s: s.update(traceId="0" * 32),  # all-zero
+            lambda s: s.update(traceId="ABC"),  # wrong shape
+            lambda s: s.update(spanId="1234"),  # short
+            lambda s: s.update(parentSpanId="doesnotresolve00"),
+            lambda s: s.update(startTimeUnixNano="9e99"),  # not integer nanos
+            lambda s: s.update(kind=9),
+            lambda s: s.update(status={"code": 7}),
+            lambda s: s.update(attributes=[{"key": "k"}]),  # no value
+            lambda s: s.update(
+                attributes=[{"key": "k", "value": {"intValue": 3}}]
+            ),  # int64 must be a string
+        ],
+    )
+    def test_rejects_corruptions(self, corrupt):
+        doc = self._valid_doc()
+        corrupt(otlp_spans(doc)[0])
+        assert validate_otlp(doc) != []
+
+    def test_rejects_duplicate_span_ids(self):
+        doc = self._valid_doc()
+        spans = otlp_spans(doc)
+        spans[1]["spanId"] = spans[0]["spanId"]
+        assert any("duplicate" in p for p in validate_otlp(doc))
+
+    def test_rejects_cross_trace_parent(self):
+        doc = self._valid_doc()
+        spans = otlp_spans(doc)
+        spans[1]["traceId"] = new_trace_id()
+        assert any("different trace" in p for p in validate_otlp(doc))
+
+    def test_end_before_start(self):
+        doc = self._valid_doc()
+        s = otlp_spans(doc)[0]
+        s["endTimeUnixNano"] = str(int(s["startTimeUnixNano"]) - 1)
+        assert any("precedes" in p for p in validate_otlp(doc))
+
+
+def _cost_report(tmp_path, *, with_cost: bool = True):
+    t = Tracer()
+    with t.span("cd.run"):
+        pass
+    if with_cost:
+        t.record_span(
+            "service.request", t0=0.0, wall_s=0.4,
+            attrs={"cost.cpu_ms": 300.0, "cost.workspace_bytes": 4096,
+                   "cost.queue_wait_ms": 2.0, "cost.served": "computed"},
+        )
+        t.record_span(
+            "service.request", t0=0.5, wall_s=0.1,
+            attrs={"cost.cpu_ms": 100.0, "cost.workspace_bytes": 1024,
+                   "cost.queue_wait_ms": 1.0, "cost.served": "computed"},
+        )
+    report = build_report("unit", tracer=t)
+    path = tmp_path / "report.json"
+    report.save(path)
+    return path
+
+
+class TestCli:
+    def test_export_otlp(self, tmp_path, capsys):
+        path = _cost_report(tmp_path)
+        out = tmp_path / "otlp.json"
+        assert obs_main(["export", str(path), "--format", "otlp", "-o", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert validate_otlp(doc) == []
+        assert {s["name"] for s in otlp_spans(doc)} == {"cd.run", "service.request"}
+
+    def test_top_by_cost(self, tmp_path, capsys):
+        path = _cost_report(tmp_path)
+        assert obs_main(["top", str(path), "--by", "cost"]) == 0
+        out = capsys.readouterr().out
+        assert "service.request" in out
+        assert "400.0ms" in out  # 300 + 100 attributed CPU-ms summed
+        assert "cd.run" not in out.splitlines()[-1]  # no cost attrs -> not ranked
+
+    def test_top_by_cost_without_cost_attrs(self, tmp_path, capsys):
+        path = _cost_report(tmp_path, with_cost=False)
+        assert obs_main(["top", str(path), "--by", "cost"]) == 0
+        assert "no cost-attributed spans" in capsys.readouterr().out

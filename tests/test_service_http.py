@@ -243,6 +243,30 @@ class TestRequestIds:
         with urllib.request.urlopen(f"{base}/v1/healthz", timeout=60) as resp:
             assert resp.headers["X-Request-Id"]
 
+    @pytest.mark.parametrize(
+        "hostile",
+        [
+            "id with spaces",
+            "semi;colons",
+            "x" * 65,  # over the length bound
+            "curl/7.88 injected",
+            "../../etc/passwd",
+        ],
+    )
+    def test_hostile_request_id_replaced(self, server, hostile):
+        # Header/log injection fence: anything outside [A-Za-z0-9_-]{1,64}
+        # is dropped and a fresh ID minted instead of echoed verbatim.
+        base, digest = server
+        status, headers, body = _post_raw(
+            f"{base}/v1/cd",
+            {"scene": digest, "grid": [10, 10], "method": "AICA"},
+            headers={"X-Request-Id": hostile},
+        )
+        assert status == 200
+        echoed = headers["X-Request-Id"]
+        assert echoed != hostile
+        assert len(echoed) == 32 and set(echoed) <= set("0123456789abcdef")
+
 
 class TestErrorFence:
     def test_unhandled_exception_becomes_json_500(self, server, monkeypatch):
@@ -250,7 +274,7 @@ class TestErrorFence:
 
         base, digest = server
 
-        def explode(self, spec, *, timeout=None, request_id=None):
+        def explode(self, spec, *, timeout=None, request_id=None, trace_ctx=None):
             raise RuntimeError("synthetic handler crash")
 
         monkeypatch.setattr(Service, "query", explode)
@@ -300,7 +324,14 @@ class TestAccessLogE2E:
         assert cd["status"] == 200 and cd["ms"] > 0
         assert cd["served"] in {"cache", "coalesced", "computed"}
         assert cd["scene"] == digest[:12]
+        # Triage fields: the trace the request belongs to and how long it
+        # sat in the dispatch queue, joinable against exported traces.
+        assert len(cd["trace_id"]) == 32 and set(cd["trace_id"]) <= set(
+            "0123456789abcdef"
+        )
+        assert cd["queue_wait_ms"] >= 0
         assert hz["route"] == "/v1/healthz" and hz["method"] == "GET"
+        assert len(hz["trace_id"]) == 32
 
 
 class TestWindowAndPrometheus:
@@ -373,6 +404,119 @@ class TestWatch:
 
         assert obs_main(["watch", "http://127.0.0.1:1", "--once"]) == 2
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestDistributedTracing:
+    """e2e: inbound traceparent through a workers=2 server and back out."""
+
+    @pytest.fixture(scope="class")
+    def traced_server(self, sphere_scene):
+        svc = Service(workers=2, max_queue=8)
+        digest = svc.register_scene(sphere_scene)
+        httpd = serve(svc, port=0)
+        thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+        thread.start()
+        base = f"http://127.0.0.1:{httpd.server_address[1]}"
+        yield base, digest
+        httpd.shutdown()
+        httpd.server_close()
+        svc.close()
+
+    def test_sampled_request_traces_end_to_end(self, traced_server, sphere_scene):
+        from repro.obs.context import new_span_id, new_trace_id, parse_traceparent
+        from repro.obs.otlp import otlp_spans, to_otlp, validate_otlp
+        from repro.obs.trace import Tracer, use_tracer
+
+        base, digest = traced_server
+        tid, caller_span = new_trace_id(), new_span_id()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            status, headers, body = _post_raw(
+                f"{base}/v1/cd",
+                {"scene": digest, "grid": [7, 7], "method": "AICA"},
+                headers={"traceparent": f"00-{tid}-{caller_span}-01"},
+            )
+        assert status == 200
+
+        # The response echoes a valid traceparent on the caller's trace.
+        echo = parse_traceparent(headers["traceparent"])
+        assert echo is not None and echo.trace_id == tid and echo.sampled
+
+        # Cost attribution rides in the response body.
+        cost = body["cost"]
+        assert cost["served"] == "computed"
+        assert cost["cpu_ms"] > 0 and cost["workspace_bytes"] > 0
+        assert cost["queue_wait_ms"] >= 0
+
+        # Every recorded span — including the absorbed pool-worker spans —
+        # carries the propagated trace ID.
+        spans = tracer.to_dicts()
+        assert spans and all(s["trace_id"] == tid for s in spans)
+        assert any("pool_worker" in s["attrs"] for s in spans)
+
+        # The request span is the one the echo names, hangs under the
+        # caller's span, and carries all three cost attributes.
+        (req,) = [s for s in spans if s["name"] == "service.request"]
+        assert req["span_id"] == echo.span_id
+        assert req["parent_span_id"] == caller_span
+        for key in ("cost.cpu_ms", "cost.workspace_bytes", "cost.queue_wait_ms"):
+            assert key in req["attrs"]
+
+        # The exported OTLP payload passes the strict validator; the only
+        # unresolved parent is the caller's remote span.
+        doc = to_otlp(tracer, service_name="repro-serve", label="e2e")
+        assert validate_otlp(doc, allow_unresolved_parents={caller_span}) == []
+        assert all(s["traceId"] == tid for s in otlp_spans(doc))
+
+        # Tracing sampled-in does not perturb the served map.
+        direct = run_cd(sphere_scene, OrientationGrid(7, 7), method_by_name("AICA"))
+        assert np.array_equal(
+            np.asarray(body["map"], dtype=bool), direct.accessibility_map
+        )
+
+    def test_unsampled_request_same_map_no_spans(self, traced_server, sphere_scene):
+        from repro.obs.context import new_span_id, new_trace_id, parse_traceparent
+        from repro.obs.trace import Tracer, use_tracer
+
+        base, digest = traced_server
+        tid, caller_span = new_trace_id(), new_span_id()
+        tracer = Tracer()
+        with use_tracer(tracer):
+            status, headers, body = _post_raw(
+                f"{base}/v1/cd",
+                {"scene": digest, "grid": [8, 8], "method": "AICA"},
+                headers={"traceparent": f"00-{tid}-{caller_span}-00"},
+            )
+        assert status == 200
+        echo = parse_traceparent(headers["traceparent"])
+        assert echo is not None
+        assert echo.trace_id == tid and not echo.sampled
+        # Sampled-out: the decision propagates downstream, nothing recorded.
+        assert all(s["trace_id"] != tid for s in tracer.to_dicts())
+        # ... and the answer is still byte-identical to the direct run.
+        direct = run_cd(sphere_scene, OrientationGrid(8, 8), method_by_name("AICA"))
+        assert np.array_equal(
+            np.asarray(body["map"], dtype=bool), direct.accessibility_map
+        )
+
+    def test_sampling_counters_account_for_requests(self, traced_server):
+        from repro.obs.context import new_span_id, new_trace_id
+        from repro.obs.metrics import get_metrics
+
+        base, digest = traced_server
+        metrics = get_metrics()
+        sampled0 = metrics.counter("service.trace.sampled").value
+        dropped0 = metrics.counter("service.trace.dropped").value
+        for flags in ("01", "00"):
+            tid, sid = new_trace_id(), new_span_id()
+            status, _, _ = _post_raw(
+                f"{base}/v1/cd",
+                {"scene": digest, "grid": [6, 6], "method": "AICA"},
+                headers={"traceparent": f"00-{tid}-{sid}-{flags}"},
+            )
+            assert status == 200
+        assert metrics.counter("service.trace.sampled").value == sampled0 + 1
+        assert metrics.counter("service.trace.dropped").value == dropped0 + 1
 
 
 class TestLoadgenStatusCounts:
