@@ -1,0 +1,45 @@
+"""repro.cluster — multi-replica serving: the "millions of users" tier.
+
+The paper shards collision-detection work across parallel lanes inside
+one machine; this package applies the same idea one layer up, sharding
+whole *scenes* across N ``repro-serve`` replicas so aggregate
+throughput scales with replica count while every served map stays
+byte-identical to a direct ``run_cd`` call:
+
+* :mod:`~repro.cluster.ring` — deterministic consistent-hash placement
+  of ``Scene.content_digest`` onto replicas (virtual nodes, exact
+  minimal-remap guarantees on membership change);
+* :mod:`~repro.cluster.health` — per-replica health state machine fed
+  by active ``/v1/healthz`` probes and passive request outcomes, with
+  exponential-backoff re-probing of down replicas;
+* :mod:`~repro.cluster.router` — the ``repro-router`` front end:
+  forwards ``/v1/scenes`` / ``/v1/cd`` to the owning replica, retries
+  503s honoring ``Retry-After``, hedges slow requests to the next ring
+  replica, fails over (re-registering scenes) when the owner dies, and
+  propagates request IDs and W3C trace context so router→replica hops
+  land on one trace.
+
+See ``docs/serving.md`` ("Scaling out") and the ``repro-router``
+console script; ``repro-loadgen --cluster`` drives a whole cluster and
+emits one aggregate report with per-replica breakdowns.
+"""
+
+from repro.cluster.health import HealthMonitor, ReplicaHealth, ReplicaState, replica_label
+from repro.cluster.ring import HashRing, remapped_fraction
+from repro.cluster.router import (
+    ClusterRouter,
+    RouterHTTPServer,
+    serve_router,
+)
+
+__all__ = [
+    "ClusterRouter",
+    "HashRing",
+    "HealthMonitor",
+    "ReplicaHealth",
+    "ReplicaState",
+    "RouterHTTPServer",
+    "remapped_fraction",
+    "replica_label",
+    "serve_router",
+]

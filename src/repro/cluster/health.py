@@ -1,0 +1,306 @@
+"""Per-replica health tracking: probes, passive signals, backoff.
+
+The router must answer "who can serve this key *right now*" without
+blocking a request on a network round-trip.  Health is therefore a
+cached judgment, updated from two sides:
+
+* **active probes** — :class:`HealthMonitor` periodically GETs each
+  replica's ``/v1/healthz`` (through an injected prober, so tests use
+  fakes).  Healthy/degraded replicas are probed every
+  ``probe_interval_s``; a **down** replica is re-probed on an
+  exponential backoff (``backoff_base_s`` doubling to
+  ``backoff_max_s``) so a dead host costs a connection attempt every
+  half-minute, not every second, while a restarted one is noticed
+  within the backoff window.
+* **passive signals** — every routed request is itself a probe.  The
+  router reports transport failures (:class:`~repro.service.wire
+  .ServiceUnreachable` / timeouts) as failures and any HTTP answer as
+  a success, so a replica that dies mid-traffic is marked down after
+  ``down_after`` consecutive failures without waiting for the prober.
+
+The per-replica state machine:
+
+    HEALTHY --failure--> DEGRADED --(down_after consecutive)--> DOWN
+    DOWN --success--> DEGRADED --(up_after consecutive)--> HEALTHY
+
+The DEGRADED middle state exists in both directions on purpose: one
+blip should not take a replica out of rotation (the router still
+prefers HEALTHY peers for hedging but keeps routing owned keys to a
+DEGRADED owner), and one lucky probe should not instantly promote a
+flapping replica back to full trust.
+
+All transitions are counted (``cluster.health.to_<state>``) and the
+current state is exported as a per-replica gauge, so a dashboard shows
+membership the way the router sees it.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+import threading
+import time
+
+from repro.obs.metrics import get_metrics
+
+__all__ = ["ReplicaState", "ReplicaHealth", "HealthMonitor", "replica_label"]
+
+
+class ReplicaState(enum.Enum):
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    DOWN = "down"
+
+
+_STATE_GAUGE = {ReplicaState.HEALTHY: 0, ReplicaState.DEGRADED: 1, ReplicaState.DOWN: 2}
+
+_LABEL_RE = re.compile(r"[^A-Za-z0-9_]+")
+
+
+def replica_label(replica: str) -> str:
+    """A bounded metric label for a replica URL
+    (``http://127.0.0.1:8091`` -> ``127_0_0_1_8091``)."""
+    stripped = re.sub(r"^[a-z]+://", "", replica.strip().rstrip("/"))
+    return _LABEL_RE.sub("_", stripped).strip("_") or "replica"
+
+
+class ReplicaHealth:
+    """The health state machine for one replica.
+
+    Thread-safe; the clock is injectable so tests drive time explicitly.
+    A fresh replica starts HEALTHY — optimism routes traffic immediately
+    and the first failures demote it, which beats holding traffic until
+    a probe succeeds.
+    """
+
+    def __init__(
+        self,
+        replica: str,
+        *,
+        down_after: int = 3,
+        up_after: int = 2,
+        probe_interval_s: float = 2.0,
+        backoff_base_s: float = 0.5,
+        backoff_max_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        if down_after < 1 or up_after < 1:
+            raise ValueError("down_after and up_after must be >= 1")
+        self.replica = replica
+        self.label = replica_label(replica)
+        self.down_after = int(down_after)
+        self.up_after = int(up_after)
+        self.probe_interval_s = float(probe_interval_s)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = ReplicaState.HEALTHY
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._backoff_s = float(backoff_base_s)
+        self._next_probe_at = self._clock()  # due immediately
+        self._last_change_at = self._clock()
+        self._export_state()
+
+    # -- signals ----------------------------------------------------------
+
+    def record_success(self) -> None:
+        """A probe answered, or a routed request got *any* HTTP response."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._consecutive_successes += 1
+            self._backoff_s = self.backoff_base_s
+            if self._state is ReplicaState.DOWN:
+                self._transition(ReplicaState.DEGRADED)
+                self._consecutive_successes = 1
+            elif (
+                self._state is ReplicaState.DEGRADED
+                and self._consecutive_successes >= self.up_after
+            ):
+                self._transition(ReplicaState.HEALTHY)
+            self._next_probe_at = self._clock() + self.probe_interval_s
+
+    def record_failure(self) -> None:
+        """A probe or routed request failed at the transport level."""
+        with self._lock:
+            self._consecutive_successes = 0
+            self._consecutive_failures += 1
+            if self._state is ReplicaState.DOWN:
+                # Still dead: widen the re-probe backoff.
+                self._backoff_s = min(self._backoff_s * 2.0, self.backoff_max_s)
+            elif self._consecutive_failures >= self.down_after:
+                self._transition(ReplicaState.DOWN)
+                self._backoff_s = self.backoff_base_s
+            elif self._state is ReplicaState.HEALTHY:
+                self._transition(ReplicaState.DEGRADED)
+            self._next_probe_at = self._clock() + (
+                self._backoff_s
+                if self._state is ReplicaState.DOWN
+                else self.probe_interval_s
+            )
+
+    def _transition(self, to: ReplicaState) -> None:
+        # caller holds the lock
+        if to is self._state:
+            return
+        self._state = to
+        self._last_change_at = self._clock()
+        metrics = get_metrics()
+        metrics.counter(f"cluster.health.to_{to.value}").inc()
+        self._export_state()
+
+    def _export_state(self) -> None:
+        get_metrics().gauge(
+            f"cluster.replica.{self.label}.state"
+        ).set(_STATE_GAUGE[self._state])
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def state(self) -> ReplicaState:
+        with self._lock:
+            return self._state
+
+    @property
+    def routable(self) -> bool:
+        """Should the router send owned keys here? DOWN means no."""
+        with self._lock:
+            return self._state is not ReplicaState.DOWN
+
+    def probe_due(self, now: float | None = None) -> bool:
+        with self._lock:
+            return (self._clock() if now is None else now) >= self._next_probe_at
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "replica": self.replica,
+                "state": self._state.value,
+                "consecutive_failures": self._consecutive_failures,
+                "consecutive_successes": self._consecutive_successes,
+                "backoff_s": self._backoff_s if self._state is ReplicaState.DOWN else 0.0,
+                "since_change_s": max(0.0, self._clock() - self._last_change_at),
+            }
+
+
+class HealthMonitor:
+    """Active prober over a set of :class:`ReplicaHealth` machines.
+
+    ``probe`` is a callable ``(replica_url) -> bool`` — True means the
+    replica answered its health check.  :meth:`tick` probes every
+    replica whose check is due (tests call it directly with a fake
+    clock); :meth:`start` runs ticks on a daemon thread every
+    ``tick_interval_s`` until :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        replicas,
+        probe,
+        *,
+        probe_interval_s: float = 2.0,
+        down_after: int = 3,
+        up_after: int = 2,
+        backoff_base_s: float = 0.5,
+        backoff_max_s: float = 30.0,
+        clock=time.monotonic,
+    ) -> None:
+        self._probe = probe
+        self._clock = clock
+        self._kwargs = dict(
+            down_after=down_after,
+            up_after=up_after,
+            probe_interval_s=probe_interval_s,
+            backoff_base_s=backoff_base_s,
+            backoff_max_s=backoff_max_s,
+            clock=clock,
+        )
+        self._lock = threading.Lock()
+        self._health: dict[str, ReplicaHealth] = {
+            r: ReplicaHealth(r, **self._kwargs) for r in replicas
+        }
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- membership -------------------------------------------------------
+
+    def add(self, replica: str) -> None:
+        with self._lock:
+            if replica not in self._health:
+                self._health[replica] = ReplicaHealth(replica, **self._kwargs)
+
+    def get(self, replica: str) -> ReplicaHealth:
+        with self._lock:
+            health = self._health.get(replica)
+            if health is None:
+                health = self._health[replica] = ReplicaHealth(
+                    replica, **self._kwargs
+                )
+            return health
+
+    def replicas(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(self._health)
+
+    # -- passive signals (forwarded by the router) ------------------------
+
+    def record_success(self, replica: str) -> None:
+        self.get(replica).record_success()
+
+    def record_failure(self, replica: str) -> None:
+        self.get(replica).record_failure()
+
+    def state(self, replica: str) -> ReplicaState:
+        return self.get(replica).state
+
+    def routable(self, replica: str) -> bool:
+        return self.get(replica).routable
+
+    # -- active probing ---------------------------------------------------
+
+    def tick(self) -> int:
+        """Probe every replica whose check is due; returns probes fired."""
+        now = self._clock()
+        with self._lock:
+            due = [h for h in self._health.values() if h.probe_due(now)]
+        fired = 0
+        for health in due:
+            fired += 1
+            get_metrics().counter("cluster.health.probes").inc()
+            try:
+                ok = bool(self._probe(health.replica))
+            except Exception:
+                ok = False
+            if ok:
+                health.record_success()
+            else:
+                health.record_failure()
+        return fired
+
+    def start(self, tick_interval_s: float = 0.25) -> None:
+        """Run :meth:`tick` on a daemon thread until :meth:`stop`."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(tick_interval_s):
+                self.tick()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-cluster-health", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def snapshot(self) -> dict:
+        """Per-replica health, JSON-friendly (``/v1/healthz`` payload)."""
+        with self._lock:
+            health = list(self._health.values())
+        return {h.replica: h.snapshot() for h in health}

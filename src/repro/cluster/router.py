@@ -1,0 +1,633 @@
+"""The cluster router: scene-sharded fan-out over ``repro-serve`` replicas.
+
+One ``repro-serve`` process tops out at its own worker pool; the paper's
+idea — shard the work, keep the answer bit-exact — applies one layer up.
+The router owns no compute: it maps every scene (by content digest) to
+an owning replica on a consistent-hash ring (:mod:`repro.cluster.ring`),
+forwards ``/v1/scenes`` and ``/v1/cd`` there, and spends its effort on
+the failure modes that appear the moment there is more than one server:
+
+* **503 backpressure** — retried against the same replica honoring
+  ``Retry-After`` (with jitter, capped by ``retry_budget_s``); the
+  router absorbs transient overload instead of bouncing it to clients.
+* **tail latency** — a request still unanswered after ``hedge_after_s``
+  is *hedged* to the next replica on the key's preference list; the
+  first non-error answer wins and the loser is cancelled or discarded
+  (``cluster.hedge.*`` counters).  Hedging never double-counts: the
+  router's request window and the client-visible cost ledger see only
+  the winning answer.
+* **replica death** — transport failures feed the health tracker
+  (:mod:`repro.cluster.health`) and the request fails over down the
+  preference list.  A fallback replica that has never seen the scene
+  answers 404; the router replays the original registration body
+  (kept per digest) and retries — so losing the owner mid-run degrades
+  to one extra registration, not client-visible errors.
+
+Every hop keeps the observability contract: inbound ``X-Request-Id``
+and ``traceparent`` are propagated to the replica (one trace across
+router and replica), the router records ``cluster.route`` /
+``cluster.upstream`` spans into its own tracer for OTLP export, and
+responses carry the router's identity header plus which replica
+actually answered.
+
+Endpoints: the replica API (``/v1/scenes``, ``/v1/cd``) plus
+``/v1/ring`` (membership, health, vnodes, per-scene placement — pass
+``?key=DIGEST`` for one key's preference list), ``/v1/healthz``, and
+``/v1/metrics`` — all on the shared wire dialect
+(:mod:`repro.service.wire`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from http.server import ThreadingHTTPServer
+
+from repro.cluster.health import HealthMonitor, replica_label
+from repro.cluster.ring import HashRing
+from repro.obs.context import TraceContext, format_traceparent
+from repro.obs.metrics import get_metrics
+from repro.obs.trace import get_tracer
+from repro.obs.window import RequestWindow
+from repro.service.wire import (
+    JsonRequestHandler,
+    ServiceUnreachable,
+    TransportError,
+    http_json,
+    retry_after_from,
+)
+
+__all__ = ["ClusterRouter", "RouterHTTPServer", "serve_router"]
+
+ROUTER_HEADER = "X-Repro-Router"
+REPLICA_HEADER = "X-Repro-Replica"
+
+
+class _Attempt:
+    """Outcome of one upstream try: an HTTP answer or a transport error."""
+
+    __slots__ = ("replica", "status", "payload", "headers", "error", "retried")
+
+    def __init__(self, replica, status=None, payload=None, headers=None,
+                 error=None, retried=0):
+        self.replica = replica
+        self.status = status
+        self.payload = payload
+        self.headers = headers or {}
+        self.error = error  # a TransportError, or None
+        self.retried = retried
+
+    @property
+    def won(self) -> bool:
+        """A winning answer: an HTTP response that is not a server error."""
+        return self.error is None and self.status is not None and self.status < 500
+
+
+class ClusterRouter:
+    """Routing logic, transport-free (the HTTP shell lives below).
+
+    ``replicas`` are base URLs of running ``repro-serve`` instances.
+    The router may be driven directly (tests) or through
+    :func:`serve_router`.
+    """
+
+    def __init__(
+        self,
+        replicas,
+        *,
+        vnodes: int = 64,
+        hedge_after_s: float = 0.25,
+        retry_budget_s: float = 5.0,
+        probe_interval_s: float = 2.0,
+        probe_timeout_s: float = 5.0,
+        upstream_timeout_s: float = 300.0,
+        down_after: int = 3,
+        up_after: int = 2,
+        max_upstream_threads: int = 32,
+        name: str | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        replicas = [str(r).rstrip("/") for r in replicas]
+        if not replicas:
+            raise ValueError("a cluster needs at least one replica URL")
+        if len(set(replicas)) != len(replicas):
+            raise ValueError(f"duplicate replica URLs: {replicas}")
+        self.ring = HashRing(replicas, vnodes=vnodes)
+        self.health = HealthMonitor(
+            replicas,
+            self._probe,
+            probe_interval_s=probe_interval_s,
+            down_after=down_after,
+            up_after=up_after,
+        )
+        self.hedge_after_s = float(hedge_after_s)
+        self.retry_budget_s = float(retry_budget_s)
+        self.probe_timeout_s = float(probe_timeout_s)
+        self.upstream_timeout_s = float(upstream_timeout_s)
+        self.name = name or "repro-router"
+        self.window = RequestWindow()
+        self._rng = rng if rng is not None else random.Random()
+        self._executor = ThreadPoolExecutor(
+            max_workers=int(max_upstream_threads),
+            thread_name_prefix="repro-router",
+        )
+        # digest -> the original /v1/scenes body: the replay material for
+        # re-registration on failover.  Which replicas are known to hold
+        # the scene rides alongside.
+        self._scene_lock = threading.Lock()
+        self._scene_bodies: dict[str, dict] = {}
+        self._scene_on: dict[str, set[str]] = {}
+        self._started = time.perf_counter()
+        self._closed = False
+
+    # -- health probing ---------------------------------------------------
+
+    def _probe(self, replica: str) -> bool:
+        try:
+            status, _, _ = http_json(
+                f"{replica}/v1/healthz", timeout=self.probe_timeout_s
+            )
+        except TransportError:
+            return False
+        return status == 200
+
+    # -- placement --------------------------------------------------------
+
+    def candidates(self, digest: str) -> list[str]:
+        """The key's preference list, routable replicas first.
+
+        Ring order decides within each group, so two routers (or one
+        router before and after a flap) agree on the failover target.
+        DOWN replicas stay at the tail as a last resort — with the whole
+        cluster marked down, trying beats answering 503 from memory.
+        """
+        pref = self.ring.preference(digest)
+        up = [r for r in pref if self.health.routable(r)]
+        down = [r for r in pref if not self.health.routable(r)]
+        return up + down
+
+    def _remember_scene(self, digest: str, body: dict, replica: str) -> None:
+        with self._scene_lock:
+            self._scene_bodies.setdefault(digest, dict(body))
+            self._scene_on.setdefault(digest, set()).add(replica)
+
+    def _scene_body(self, digest: str) -> dict | None:
+        with self._scene_lock:
+            body = self._scene_bodies.get(digest)
+            return dict(body) if body is not None else None
+
+    def scenes(self) -> dict[str, dict]:
+        """Tracked scenes: digest -> owner + replicas known to hold it."""
+        with self._scene_lock:
+            return {
+                digest: {
+                    "owner": self.ring.owner(digest),
+                    "registered_on": sorted(self._scene_on.get(digest, ())),
+                }
+                for digest in self._scene_bodies
+            }
+
+    # -- scene registration -----------------------------------------------
+
+    def register_scene(self, body: dict, *, headers: dict | None = None):
+        """Forward a ``/v1/scenes`` body.
+
+        Returns ``(status, payload, headers, replica)``.
+
+        The owner is only known once the replica reports the content
+        digest, so registration lands on the first routable replica,
+        then is replayed onto the ring owner when that is a different
+        node.  The body is retained for failover re-registration.
+        """
+        first_error: _Attempt | None = None
+        for replica in self.candidates("scenes:" + repr(sorted(body.items()))):
+            try:
+                status, payload, resp_headers = http_json(
+                    f"{replica}/v1/scenes", body,
+                    timeout=self.upstream_timeout_s, headers=headers,
+                )
+            except TransportError as exc:
+                self.health.record_failure(replica)
+                self._count_replica(replica, error=True)
+                first_error = first_error or _Attempt(replica, error=exc)
+                continue
+            self.health.record_success(replica)
+            self._count_replica(replica, error=status >= 500)
+            if status != 200:
+                return status, payload, resp_headers, replica
+            digest = payload["scene"]
+            self._remember_scene(digest, body, replica)
+            owner = self.candidates(digest)[0]
+            if owner != replica:
+                # Replay onto the ring owner so queries route there warm.
+                try:
+                    o_status, _, _ = http_json(
+                        f"{owner}/v1/scenes", body,
+                        timeout=self.upstream_timeout_s, headers=headers,
+                    )
+                    self.health.record_success(owner)
+                    if o_status == 200:
+                        self._remember_scene(digest, body, owner)
+                except TransportError:
+                    self.health.record_failure(owner)
+            payload["cluster"] = {
+                "owner": owner,
+                "registered_on": self.scenes()[digest]["registered_on"],
+            }
+            return status, payload, resp_headers, replica
+        # Every replica was unreachable.
+        assert first_error is not None
+        raise first_error.error
+
+    # -- query routing ----------------------------------------------------
+
+    def route_cd(
+        self,
+        body: dict,
+        *,
+        headers: dict | None = None,
+        trace_ctx: TraceContext | None = None,
+    ):
+        """Route one ``/v1/cd`` body to the owning replica.
+
+        Returns ``(status, payload, resp_headers, replica, hedged)``.
+        Raises :class:`ServiceUnreachable` only when every candidate
+        failed at the transport level.
+        """
+        metrics = get_metrics()
+        metrics.counter("cluster.requests").inc()
+        digest = str(body.get("scene", ""))
+        cands = self.candidates(digest)
+        if not cands:
+            raise ServiceUnreachable("(no replicas)", "hash ring is empty")
+        deadline = time.perf_counter() + max(
+            self.retry_budget_s, self.upstream_timeout_s
+        )
+        t0 = time.perf_counter()
+
+        pending: dict = {}  # future -> replica
+
+        def submit(replica: str):
+            fut = self._executor.submit(
+                self._attempt_cd, replica, dict(body), headers, deadline, trace_ctx
+            )
+            pending[fut] = replica
+
+        remaining = iter(cands)
+        submit(next(remaining))
+        hedged = False
+        winner: _Attempt | None = None
+        last: _Attempt | None = None
+        while pending:
+            can_hedge = not hedged and len(cands) > 1
+            done, _ = wait(
+                set(pending),
+                timeout=self.hedge_after_s if can_hedge else None,
+                return_when=FIRST_COMPLETED,
+            )
+            if not done:
+                # The primary is slow: hedge to the next preference replica.
+                nxt = next(remaining, None)
+                hedged = True
+                if nxt is not None:
+                    metrics.counter("cluster.hedge.fired").inc()
+                    submit(nxt)
+                continue
+            for fut in done:
+                replica = pending.pop(fut)
+                attempt: _Attempt = fut.result()
+                last = attempt
+                if attempt.won:
+                    winner = attempt
+                    break
+            if winner is not None:
+                break
+            if not pending:
+                # Everything in flight failed: fail over to the next
+                # candidate, if any is left.
+                nxt = next(remaining, None)
+                if nxt is None:
+                    break
+                metrics.counter("cluster.failover").inc()
+                submit(nxt)
+
+        # Discard losers: cancel what never started; what's already
+        # running finishes on the executor and is counted, but its
+        # answer reaches neither the client nor the window.
+        for fut, _replica in pending.items():
+            if not fut.cancel():
+                metrics.counter("cluster.hedge.discarded").inc()
+
+        if winner is None:
+            if last is not None and last.error is None:
+                # Best server answer we got (e.g. 503 after budget).
+                self._finish(last, t0)
+                return last.status, last.payload, last.headers, last.replica, hedged
+            raise ServiceUnreachable(
+                digest or "(no scene)",
+                f"all {len(cands)} replicas failed: "
+                + "; ".join(f"{replica_label(c)}" for c in cands),
+            )
+        if hedged:
+            if winner.replica != cands[0]:
+                metrics.counter("cluster.hedge.wins").inc()
+            else:
+                metrics.counter("cluster.hedge.primary_wins").inc()
+        self._finish(winner, t0)
+        return winner.status, winner.payload, winner.headers, winner.replica, hedged
+
+    def _finish(self, attempt: _Attempt, t0: float) -> None:
+        metrics = get_metrics()
+        metrics.histogram("cluster.route.ms").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        if attempt.retried:
+            metrics.counter("cluster.retry.503").inc(attempt.retried)
+
+    def _attempt_cd(
+        self,
+        replica: str,
+        body: dict,
+        headers: dict | None,
+        deadline: float,
+        trace_ctx: TraceContext | None,
+    ) -> _Attempt:
+        """One replica's full attempt: 503 retries + 404 re-registration.
+
+        Never raises — transport failures come back as an
+        :class:`_Attempt` with ``error`` set (the routing loop must see
+        them, not lose them inside a future).
+        """
+        tracer = get_tracer()
+        fwd = dict(headers or {})
+        attempt_ctx = None
+        if trace_ctx is not None:
+            # One child span per upstream hop: the replica's spans parent
+            # onto it, so router and replica land on one trace.
+            attempt_ctx = trace_ctx.child()
+            fwd["traceparent"] = format_traceparent(attempt_ctx)
+            if trace_ctx.tracestate:
+                fwd["tracestate"] = trace_ctx.tracestate
+        metrics = get_metrics()
+        t0 = time.perf_counter()
+        retried = 0
+        reregistered = False
+        outcome = "ok"
+        try:
+            while True:
+                try:
+                    status, payload, resp_headers = http_json(
+                        f"{replica}/v1/cd", body,
+                        timeout=self.upstream_timeout_s, headers=fwd,
+                    )
+                except TransportError as exc:
+                    self.health.record_failure(replica)
+                    self._count_replica(replica, error=True)
+                    outcome = "transport_error"
+                    return _Attempt(replica, error=exc, retried=retried)
+                # Any HTTP answer proves the replica is alive.
+                self.health.record_success(replica)
+                self._count_replica(replica, error=status >= 500)
+                if (
+                    status == 404
+                    and not reregistered
+                    and "unknown scene" in str(payload.get("error", ""))
+                ):
+                    # A fallback replica that never saw this scene:
+                    # replay the original registration, then retry.
+                    scene_body = self._scene_body(str(body.get("scene", "")))
+                    if scene_body is not None:
+                        reregistered = True
+                        metrics.counter("cluster.reregistered").inc()
+                        try:
+                            r_status, _, _ = http_json(
+                                f"{replica}/v1/scenes", scene_body,
+                                timeout=self.upstream_timeout_s,
+                            )
+                        except TransportError as exc:
+                            self.health.record_failure(replica)
+                            outcome = "transport_error"
+                            return _Attempt(replica, error=exc, retried=retried)
+                        if r_status == 200:
+                            self._remember_scene(
+                                str(body.get("scene", "")), scene_body, replica
+                            )
+                            continue
+                if status == 503:
+                    delay = retry_after_from(resp_headers, payload)
+                    delay += self._rng.uniform(0.0, 0.25 * delay + 0.01)
+                    if time.perf_counter() + delay > deadline:
+                        outcome = "503_budget_exhausted"
+                        return _Attempt(
+                            replica, status, payload, resp_headers, retried=retried
+                        )
+                    retried += 1
+                    time.sleep(delay)
+                    continue
+                outcome = f"http_{status}"
+                return _Attempt(replica, status, payload, resp_headers, retried=retried)
+        finally:
+            if tracer.enabled and (trace_ctx is None or trace_ctx.sampled):
+                wall = time.perf_counter() - t0
+                identity = {}
+                if attempt_ctx is not None:
+                    identity = {
+                        "trace_id": attempt_ctx.trace_id,
+                        "span_id": attempt_ctx.span_id,
+                        "parent_span_id": attempt_ctx.parent_id,
+                    }
+                tracer.record_span(
+                    "cluster.upstream",
+                    t0=tracer.now() - wall,
+                    wall_s=wall,
+                    attrs={
+                        "replica": replica_label(replica),
+                        "outcome": outcome,
+                        "retried": retried,
+                        "reregistered": reregistered,
+                    },
+                    **identity,
+                )
+            metrics.histogram("cluster.upstream.ms").observe(
+                (time.perf_counter() - t0) * 1e3
+            )
+
+    def _count_replica(self, replica: str, *, error: bool) -> None:
+        label = replica_label(replica)
+        metrics = get_metrics()
+        metrics.counter(f"cluster.replica.{label}.requests").inc()
+        if error:
+            metrics.counter(f"cluster.replica.{label}.errors").inc()
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def uptime_s(self) -> float:
+        return time.perf_counter() - self._started
+
+    def start(self, tick_interval_s: float = 0.25) -> None:
+        """Start background health probing."""
+        self.health.start(tick_interval_s)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.health.stop()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+# ---------------------------------------------------------------------------
+# HTTP shell
+# ---------------------------------------------------------------------------
+
+
+class _RouterHandler(JsonRequestHandler):
+    server: "RouterHTTPServer"
+
+    known_routes = frozenset(
+        {"/v1/scenes", "/v1/cd", "/v1/ring", "/v1/healthz", "/v1/metrics"}
+    )
+    error_counter = "cluster.errors"
+
+    def _route_get(self, path: str) -> None:
+        router = self.server.router
+        if path == "/v1/healthz":
+            self._send_json(200, {
+                "status": "ok",
+                "role": "router",
+                "router": router.name,
+                "uptime_s": router.uptime_s,
+                "scenes": len(router.scenes()),
+                "replicas": router.health.snapshot(),
+                "window": router.window.snapshot(),
+            })
+        elif path == "/v1/ring":
+            import urllib.parse
+
+            params = urllib.parse.parse_qs(urllib.parse.urlsplit(self.path).query)
+            out = {
+                **router.ring.describe(),
+                "router": router.name,
+                "hedge_after_s": router.hedge_after_s,
+                "health": {
+                    replica: snap["state"]
+                    for replica, snap in router.health.snapshot().items()
+                },
+                "scenes": router.scenes(),
+            }
+            key = params.get("key", [None])[-1]
+            if key:
+                out["key"] = key
+                out["preference"] = router.ring.preference(key)
+                out["candidates"] = router.candidates(key)
+            self._send_json(200, out)
+        elif path == "/v1/metrics":
+            self._route_metrics()
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+    def _route_post(self, path: str) -> None:
+        router = self.server.router
+        try:
+            body = self._read_json()
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            return
+        fwd_headers = {"X-Request-Id": self._request_id}
+
+        if path == "/v1/scenes":
+            try:
+                status, payload, _, replica = router.register_scene(
+                    body, headers=fwd_headers
+                )
+            except TransportError as exc:
+                self._send_json(
+                    502, {"error": f"no replica reachable: {exc}"},
+                )
+                return
+            if isinstance(payload, dict) and "scene" in payload:
+                self._log_fields["scene"] = str(payload["scene"])[:12]
+            self._send_json(status, payload, headers={REPLICA_HEADER: replica})
+        elif path == "/v1/cd":
+            ctx = self._trace_ctx
+            # The router's own span for this request: minted up front so
+            # replica-side spans (children of per-attempt spans) and the
+            # response traceparent all hang off one identity.
+            route_ctx = ctx.child()
+            self._response_traceparent = format_traceparent(route_ctx)
+            self._log_fields["scene"] = str(body.get("scene", ""))[:12]
+            t0 = time.perf_counter()
+            try:
+                status, payload, _, replica, hedged = router.route_cd(
+                    body, headers=fwd_headers, trace_ctx=route_ctx
+                )
+            except TransportError as exc:
+                self._log_fields["served"] = "unreachable"
+                self._send_json(
+                    502, {"error": f"no replica could answer: {exc}"},
+                )
+                return
+            finally:
+                tracer = get_tracer()
+                if tracer.enabled and ctx.sampled:
+                    wall = time.perf_counter() - t0
+                    tracer.record_span(
+                        "cluster.route",
+                        t0=tracer.now() - wall,
+                        wall_s=wall,
+                        attrs={
+                            "scene": str(body.get("scene", ""))[:12],
+                            "request_id": self._request_id,
+                        },
+                        trace_id=route_ctx.trace_id,
+                        span_id=route_ctx.span_id,
+                        parent_span_id=route_ctx.parent_id,
+                    )
+            if isinstance(payload, dict):
+                self._log_fields["served"] = payload.get("served") or (
+                    "cache" if payload.get("cached")
+                    else "coalesced" if payload.get("coalesced")
+                    else "computed" if status == 200 else "error"
+                )
+            extra = {REPLICA_HEADER: replica}
+            if status == 503:
+                retry_after = retry_after_from({}, payload, default=1.0)
+                extra["Retry-After"] = f"{max(1, round(retry_after))}"
+            if hedged:
+                extra["X-Repro-Hedged"] = "1"
+            self._send_json(status, payload, headers=extra)
+        else:
+            self._send_json(404, {"error": f"no route {path!r}"})
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one :class:`ClusterRouter`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], router: ClusterRouter):
+        super().__init__(address, _RouterHandler)
+        self.router = router
+        self.extra_headers = {ROUTER_HEADER: router.name}
+
+    @property
+    def window(self):
+        return self.router.window
+
+
+def serve_router(
+    router: ClusterRouter, host: str = "127.0.0.1", port: int = 8070
+) -> RouterHTTPServer:
+    """Bind (``port`` 0 picks a free one) and return the server unstarted;
+    callers drive it like :func:`repro.service.http.serve`."""
+    return RouterHTTPServer((host, port), router)

@@ -7,13 +7,19 @@ into one traversal (:mod:`~repro.service.batching`), finished results
 are served from a bounded cache (:mod:`~repro.service.cache`), and a
 stdlib JSON/HTTP front end (:mod:`~repro.service.http`) exposes it all
 — see ``docs/serving.md`` and the ``repro-serve`` / ``repro-loadgen``
-console scripts.
+console scripts.  ``repro.cluster`` scales it horizontally: a
+consistent-hash router shards scenes across N replicas of this service.
+
+The service core (dispatch, cache, registry) is transport-agnostic:
+importing :class:`Service` / :class:`QuerySpec` does not pull in the
+HTTP front end — ``ServiceHTTPServer`` / ``serve`` load lazily on
+first access, so embedders and alternative transports pay nothing for
+the stdlib HTTP stack.
 """
 
 from repro.service.batching import Backpressure, QueryBroker
 from repro.service.cache import ResultCache
 from repro.service.core import QueryResult, QuerySpec, Service
-from repro.service.http import ServiceHTTPServer, serve
 from repro.service.registry import SceneRegistry, UnknownSceneError
 
 __all__ = [
@@ -28,3 +34,15 @@ __all__ = [
     "UnknownSceneError",
     "serve",
 ]
+
+_HTTP_EXPORTS = {"ServiceHTTPServer", "serve"}
+
+
+def __getattr__(name: str):
+    # PEP 562 lazy exports: the HTTP front end is optional for library
+    # embedders, so it is imported only when actually asked for.
+    if name in _HTTP_EXPORTS:
+        from repro.service import http
+
+        return getattr(http, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

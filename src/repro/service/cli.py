@@ -1,11 +1,15 @@
-"""``repro-serve`` / ``repro-loadgen`` command-line entry points.
+"""``repro-serve`` / ``repro-router`` / ``repro-loadgen`` entry points.
 
 Usage::
 
-    repro-serve --port 8077 --workers 4          # start the query service
+    repro-serve --port 8077 --workers 4          # start one query replica
     repro-serve --table-dir /var/cache/repro-ica # warm-startable ICA tables
     REPRO_ACCESS_LOG=access.log repro-serve      # JSON access log to a file
     REPRO_ACCESS_LOG=0 repro-serve               # silence the access log
+
+    repro-router --port 8070 \\
+        --replica http://127.0.0.1:8077 \\
+        --replica http://127.0.0.1:8078           # shard scenes across replicas
 
     repro-loadgen --url http://127.0.0.1:8077 \\
         --model head --resolution 32 --pivot 0 -30 5 \\
@@ -14,19 +18,30 @@ Usage::
 The load generator replays ``-n`` queries from ``-c`` concurrent client
 threads, cycling through ``--distinct`` pivot variants — so identical
 requests land in flight together (exercising coalescing) and repeat
-after completion (exercising the result cache).  It reports throughput,
-latency percentiles, per-status-code counts (the first non-200
-response body is kept verbatim for diagnosis), and per-query-class
-cost percentiles (attributed CPU and queue-wait from each response's
-cost ledger — the capacity-planning input for a sharding tier), and
-``--json`` writes a
-standard :mod:`repro.obs.report` run report, so serving performance is
-gated by ``repro-bench compare`` and inspected by ``repro-obs diff``
-exactly like bench runs.  ``--prometheus-check`` additionally scrapes
+after completion (exercising the result cache).  ``503`` rejections are
+retried honoring the ``Retry-After`` *header* (falling back to the JSON
+body's ``retry_after_s``), with jitter, bounded by ``--retries`` and a
+total per-request ``--retry-budget-s``; every request ends in exactly
+one **disposition** (``ok`` / ``ok_retried`` / ``rejected`` /
+``unreachable`` / ``timeout`` / ``http_error``) counted in the report.
+It reports throughput, latency percentiles, per-status-code counts (the
+first non-200 response body is kept verbatim for diagnosis), and
+per-query-class cost percentiles, and ``--json`` writes a standard
+:mod:`repro.obs.report` run report, so serving performance is gated by
+``repro-bench compare`` and inspected by ``repro-obs diff`` exactly
+like bench runs.
+
+Against a ``repro-router``, add ``--cluster``: the run is preceded and
+followed by scrapes of the router's ``/v1/ring`` and of every replica's
+own metrics, and the report gains a per-replica breakdown (health
+state, routed requests/errors, replica-side served tiers) plus the
+router's hedge/failover/re-registration counters — one aggregate
+report for the whole fleet.
+
+``--prometheus-check`` additionally scrapes
 ``/v1/metrics?format=prometheus`` after the run, validates the
 exposition with :func:`repro.obs.expo.parse_prometheus`, and asserts it
-agrees with the JSON snapshot — the end-to-end proof that a scraper
-sees the same numbers the report pipeline does.
+agrees with the JSON snapshot.
 
 Exit codes: ``0`` success, ``1`` the load run saw failed requests (or
 the Prometheus parity check failed), ``2`` usage errors.
@@ -36,20 +51,30 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
+import signal
 import sys
 import threading
 import time
-import urllib.error
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor
 
-__all__ = ["main", "main_loadgen"]
+from repro.service.wire import (
+    ServiceTimeout,
+    TransportError,
+    http_json,
+    http_text,
+    retry_after_from,
+)
+
+__all__ = ["main", "main_router", "main_loadgen"]
 
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "loadgen":
         return main_loadgen(argv[1:])
+    if argv and argv[0] == "router":
+        return main_router(argv[1:])
     if argv and argv[0] == "serve":
         argv = argv[1:]
     return _main_serve(argv)
@@ -65,7 +90,8 @@ def _main_serve(argv: list[str]) -> int:
         prog="repro-serve",
         description="Serve accessibility-map queries over JSON/HTTP "
         "(scene registry + request coalescing + result cache).",
-        epilog="Use 'repro-loadgen' (or 'repro-serve loadgen') to load-test it.",
+        epilog="Use 'repro-loadgen' (or 'repro-serve loadgen') to load-test it, "
+        "'repro-router' to shard scenes across several instances.",
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8077, help="0 picks a free port")
@@ -141,31 +167,129 @@ def _main_serve(argv: list[str]) -> int:
 
 
 # ---------------------------------------------------------------------------
-# repro-loadgen
+# repro-router
 # ---------------------------------------------------------------------------
 
 
-def _http_json(url: str, body: dict | None = None, timeout: float = 300.0):
-    """One JSON request; returns ``(status, payload, headers)``."""
-    data = None if body is None else json.dumps(body).encode("utf-8")
-    req = urllib.request.Request(
-        url, data=data, headers={"Content-Type": "application/json"}
+def main_router(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-router",
+        description="Route /v1/scenes and /v1/cd across repro-serve replicas "
+        "by consistent-hashed scene digest, with health tracking, 503 "
+        "retries, request hedging, and failover re-registration.",
     )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8070, help="0 picks a free port")
+    parser.add_argument(
+        "--replica", action="append", default=[], metavar="URL",
+        help="a repro-serve base URL (repeatable)",
+    )
+    parser.add_argument(
+        "--replicas", default=None, metavar="URL,URL,...",
+        help="comma-separated replica list (alternative to repeated --replica)",
+    )
+    parser.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per replica on the hash ring (default 64)",
+    )
+    parser.add_argument(
+        "--hedge-after-ms", type=float, default=250.0,
+        help="hedge a still-unanswered /v1/cd to the next ring replica "
+        "after this many ms (default 250)",
+    )
+    parser.add_argument(
+        "--retry-budget-s", type=float, default=5.0,
+        help="total time the router may spend retrying 503s per request "
+        "(default 5)",
+    )
+    parser.add_argument(
+        "--probe-interval-s", type=float, default=2.0,
+        help="health-probe period for live replicas (default 2)",
+    )
+    parser.add_argument(
+        "--down-after", type=int, default=3,
+        help="consecutive failures before a replica is DOWN (default 3)",
+    )
+    parser.add_argument(
+        "--up-after", type=int, default=2,
+        help="consecutive successes before a DOWN replica is HEALTHY again "
+        "(default 2)",
+    )
+    parser.add_argument("--name", default=None, help="router identity header value")
+    parser.add_argument(
+        "--trace-export", metavar="PATH", default=None,
+        help="on shutdown, write the router's recorded spans as OTLP-JSON "
+        "(requires REPRO_TRACE=1)",
+    )
+    args = parser.parse_args(argv)
+
+    replicas = [r for r in args.replica]
+    if args.replicas:
+        replicas.extend(r.strip() for r in args.replicas.split(",") if r.strip())
+    if not replicas:
+        print("give at least one --replica URL", file=sys.stderr)
+        return 2
+
+    from repro.cluster.router import ClusterRouter, serve_router
+
     try:
-        with urllib.request.urlopen(req, timeout=timeout) as resp:
-            return resp.status, json.loads(resp.read().decode("utf-8")), dict(resp.headers)
-    except urllib.error.HTTPError as exc:
-        try:
-            payload = json.loads(exc.read().decode("utf-8"))
-        except Exception:
-            payload = {"error": str(exc)}
-        return exc.code, payload, dict(exc.headers or {})
+        router = ClusterRouter(
+            replicas,
+            vnodes=args.vnodes,
+            hedge_after_s=args.hedge_after_ms / 1e3,
+            retry_budget_s=args.retry_budget_s,
+            probe_interval_s=args.probe_interval_s,
+            down_after=args.down_after,
+            up_after=args.up_after,
+            name=args.name,
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    server = serve_router(router, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(
+        f"repro-router listening on http://{host}:{port} "
+        f"({len(replicas)} replicas, vnodes={args.vnodes}, "
+        f"hedge after {args.hedge_after_ms:g}ms)"
+    )
+    router.start()
+
+    def _sigterm(signum, frame):  # make `kill` unwind like ^C: flush + export
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _sigterm)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()
+        router.close()
+        if args.trace_export:
+            from repro.obs.otlp import otlp_json
+            from repro.obs.trace import get_tracer
+
+            tracer = get_tracer()
+            if tracer.enabled and tracer.records:
+                with open(args.trace_export, "w") as fh:
+                    fh.write(otlp_json(tracer, service_name="repro-router"))
+                print(
+                    f"[{len(tracer.records)} router spans exported "
+                    f"to {args.trace_export}]"
+                )
+            else:
+                print(
+                    "no spans to export (set REPRO_TRACE=1 to record them)",
+                    file=sys.stderr,
+                )
+    return 0
 
 
-def _http_text(url: str, timeout: float = 60.0) -> tuple[int, str]:
-    """One raw-text GET (the Prometheus exposition is not JSON)."""
-    with urllib.request.urlopen(url, timeout=timeout) as resp:
-        return resp.status, resp.read().decode("utf-8")
+# ---------------------------------------------------------------------------
+# repro-loadgen
+# ---------------------------------------------------------------------------
 
 
 def _prometheus_parity_problems(base: str) -> list[str]:
@@ -177,10 +301,10 @@ def _prometheus_parity_problems(base: str) -> list[str]:
     """
     from repro.obs.expo import parse_prometheus, snapshot_parity_problems
 
-    status, snapshot, _ = _http_json(f"{base}/v1/metrics")
+    status, snapshot, _ = http_json(f"{base}/v1/metrics")
     if status != 200:
         return [f"JSON metrics scrape failed ({status})"]
-    status, text = _http_text(f"{base}/v1/metrics?format=prometheus")
+    status, text = http_text(f"{base}/v1/metrics?format=prometheus")
     if status != 200:
         return [f"prometheus scrape failed ({status})"]
     try:
@@ -203,11 +327,36 @@ def _counter_value(metrics: dict, name: str) -> float:
     return float(m.get("value", 0) or 0) if m.get("type") == "counter" else 0.0
 
 
+def _counter_delta(before: dict, after: dict, name: str) -> float:
+    return _counter_value(after, name) - _counter_value(before, name)
+
+
+def _scrape_cluster(base: str):
+    """The router's ring view plus each replica's own metrics snapshot.
+
+    Returns ``(ring, {replica: metrics or None})``; replica scrape
+    failures are tolerated (a dead replica is part of what the report
+    should show, not a reason to lose the report).
+    """
+    status, ring, _ = http_json(f"{base}/v1/ring", timeout=30.0)
+    if status != 200:
+        raise TransportError(base, f"/v1/ring answered {status} (not a repro-router?)")
+    per_replica = {}
+    for replica in ring.get("replicas", []):
+        try:
+            r_status, snapshot, _ = http_json(f"{replica}/v1/metrics", timeout=30.0)
+            per_replica[replica] = snapshot if r_status == 200 else None
+        except TransportError:
+            per_replica[replica] = None
+    return ring, per_replica
+
+
 def main_loadgen(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-loadgen",
         description="Replay concurrent accessibility queries against a "
-        "repro-serve instance and report throughput/latency percentiles.",
+        "repro-serve instance (or a repro-router with --cluster) and report "
+        "throughput/latency percentiles.",
     )
     parser.add_argument("--url", required=True, help="base URL of a running repro-serve")
     scene = parser.add_argument_group("scene (register one, or reuse a digest)")
@@ -233,6 +382,19 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     load.add_argument("--method", default="AICA")
     load.add_argument("--workers", type=int, default=0, help="per-query workers (0 = server default)")
     load.add_argument("--retries", type=int, default=8, help="max retries per request on 503")
+    load.add_argument(
+        "--retry-budget-s", type=float, default=30.0,
+        help="cap on total retry backoff per request (default 30)",
+    )
+    load.add_argument(
+        "--timeout-s", type=float, default=300.0,
+        help="per-attempt HTTP timeout (default 300)",
+    )
+    parser.add_argument(
+        "--cluster", action="store_true",
+        help="the URL is a repro-router: scrape /v1/ring and every replica's "
+        "metrics, and add a per-replica breakdown to the report",
+    )
     parser.add_argument("--json", metavar="PATH", default=None, help="write a run report")
     parser.add_argument(
         "--prometheus-check", action="store_true",
@@ -254,20 +416,30 @@ def main_loadgen(argv: list[str] | None = None) -> int:
         if pivot is None:
             print("--model registration needs --pivot", file=sys.stderr)
             return 2
-        status, payload, _ = _http_json(
-            f"{base}/v1/scenes",
-            {
-                "model": args.model,
-                "resolution": args.resolution,
-                "tool": args.tool,
-                "pivot": pivot,
-            },
-        )
+        try:
+            status, payload, _ = http_json(
+                f"{base}/v1/scenes",
+                {
+                    "model": args.model,
+                    "resolution": args.resolution,
+                    "tool": args.tool,
+                    "pivot": pivot,
+                },
+                timeout=args.timeout_s,
+            )
+        except TransportError as exc:
+            print(f"scene registration failed: {exc}", file=sys.stderr)
+            return 2
         if status != 200:
             print(f"scene registration failed ({status}): {payload}", file=sys.stderr)
             return 2
         digest = payload["scene"]
         print(f"registered scene {digest[:16]}… ({payload['nodes']} nodes)")
+        if args.cluster and isinstance(payload.get("cluster"), dict):
+            print(
+                f"  owner {payload['cluster']['owner']} "
+                f"(on {len(payload['cluster']['registered_on'])} replica(s))"
+            )
     else:
         print("give --scene DIGEST or --model NAME", file=sys.stderr)
         return 2
@@ -292,69 +464,105 @@ def main_loadgen(argv: list[str] | None = None) -> int:
         variants.append(spec)
 
     # -- fire -------------------------------------------------------------
-    status0, metrics0, _ = _http_json(f"{base}/v1/metrics")
+    try:
+        status0, metrics0, _ = http_json(f"{base}/v1/metrics", timeout=30.0)
+    except TransportError as exc:
+        print(f"cannot read metrics: {exc}", file=sys.stderr)
+        return 2
     if status0 != 200:
         print(f"cannot read metrics ({status0})", file=sys.stderr)
         return 2
+    cluster0 = None
+    if args.cluster:
+        try:
+            cluster0 = _scrape_cluster(base)
+        except TransportError as exc:
+            print(f"--cluster scrape failed: {exc}", file=sys.stderr)
+            return 2
 
     latencies_ms: list[float] = []
     ok = 0
     errors = 0
     retries_used = 0
     status_counts: dict[int, int] = {}
-    first_error: dict | None = None  # {"status": int, "body": str} of the first non-200
+    dispositions: dict[str, int] = {}
+    first_error: dict | None = None  # {"status": int|None, "body": str} of the first failure
     # Per-query-class cost ledgers (class = variant index): each 200
     # response carries the request's attributed cost, the capacity-
     # planning signal a sharding tier sizes replicas by.
     class_costs: dict[int, list[dict]] = {i: [] for i in range(len(variants))}
     lock = threading.Lock()
+    rng = random.Random()
 
     def one(i: int) -> None:
         nonlocal ok, errors, retries_used, first_error
         cls = i % len(variants)
         body = variants[cls]
         t0 = time.perf_counter()
-        for attempt in range(args.retries + 1):
-            status, payload, headers = _http_json(f"{base}/v1/cd", dict(body))
-            if status == 503 and attempt < args.retries:
+        budget_end = t0 + args.retry_budget_s
+        status: int | None = None
+        payload: dict = {}
+        disposition = "ok"
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                status, payload, headers = http_json(
+                    f"{base}/v1/cd", dict(body), timeout=args.timeout_s
+                )
+            except ServiceTimeout as exc:
+                status, payload, disposition = None, {"error": str(exc)}, "timeout"
+                break
+            except TransportError as exc:
+                status, payload, disposition = None, {"error": str(exc)}, "unreachable"
+                break
+            if status == 503 and attempts <= args.retries:
+                # Honor the Retry-After header (body retry_after_s as the
+                # fallback), jittered so retries from -c concurrent
+                # clients don't re-converge on the same instant.
+                delay = retry_after_from(headers, payload)
+                delay += rng.uniform(0.0, 0.25 * delay + 0.01)
+                if time.perf_counter() + delay > budget_end:
+                    disposition = "rejected"
+                    break
                 with lock:
                     retries_used += 1
                     status_counts[503] = status_counts.get(503, 0) + 1
-                time.sleep(float(payload.get("retry_after_s", 0.2)))
+                time.sleep(delay)
                 continue
             break
         elapsed_ms = (time.perf_counter() - t0) * 1e3
         with lock:
-            status_counts[status] = status_counts.get(status, 0) + 1
+            if status is not None:
+                status_counts[status] = status_counts.get(status, 0) + 1
             if status == 200:
                 ok += 1
+                if disposition == "ok" and attempts > 1:
+                    disposition = "ok_retried"
                 latencies_ms.append(elapsed_ms)
                 cost = payload.get("cost")
                 if isinstance(cost, dict):
                     class_costs[cls].append(cost)
             else:
                 errors += 1
+                if disposition == "ok":
+                    disposition = "rejected" if status == 503 else "http_error"
                 if first_error is None:
                     first_error = {
-                        "status": int(status),
+                        "status": None if status is None else int(status),
                         "body": json.dumps(payload)[:500],
                     }
+            dispositions[disposition] = dispositions.get(disposition, 0) + 1
 
     wall0 = time.perf_counter()
     with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
         list(pool.map(one, range(args.requests)))
     wall_s = time.perf_counter() - wall0
 
-    _, metrics1, _ = _http_json(f"{base}/v1/metrics")
-    hits = _counter_value(metrics1, "service.cache.hits") - _counter_value(
-        metrics0, "service.cache.hits"
-    )
-    misses = _counter_value(metrics1, "service.cache.misses") - _counter_value(
-        metrics0, "service.cache.misses"
-    )
-    coalesced = _counter_value(metrics1, "service.coalesced") - _counter_value(
-        metrics0, "service.coalesced"
-    )
+    _, metrics1, _ = http_json(f"{base}/v1/metrics", timeout=30.0)
+    hits = _counter_delta(metrics0, metrics1, "service.cache.hits")
+    misses = _counter_delta(metrics0, metrics1, "service.cache.misses")
+    coalesced = _counter_delta(metrics0, metrics1, "service.coalesced")
     hit_rate = hits / (hits + misses) if hits + misses else 0.0
 
     latencies_ms.sort()
@@ -370,6 +578,10 @@ def main_loadgen(argv: list[str] | None = None) -> int:
     )
     print(f"latency ms: p50 {p50:.1f}  p95 {p95:.1f}  p99 {p99:.1f}  mean {mean_ms:.1f}")
     print(f"cache hit rate {hit_rate:.0%} ({hits:g} hits), {coalesced:g} coalesced")
+    print(
+        "dispositions: "
+        + "  ".join(f"{d}×{n}" for d, n in sorted(dispositions.items()))
+    )
 
     # -- per-class cost percentiles ---------------------------------------
     cost_rows: list[list] = []
@@ -407,6 +619,70 @@ def main_loadgen(argv: list[str] | None = None) -> int:
             file=sys.stderr,
         )
 
+    # -- per-replica cluster breakdown ------------------------------------
+    cluster_rows: list[list] = []
+    cluster_meta: dict | None = None
+    if args.cluster and cluster0 is not None:
+        ring0, replicas0 = cluster0
+        try:
+            ring1, replicas1 = _scrape_cluster(base)
+        except TransportError as exc:
+            print(f"--cluster post-run scrape failed: {exc}", file=sys.stderr)
+            ring1, replicas1 = ring0, {r: None for r in replicas0}
+        from repro.cluster.health import replica_label
+
+        for replica in ring1.get("replicas", []):
+            label = replica_label(replica)
+            routed = _counter_delta(
+                metrics0, metrics1, f"cluster.replica.{label}.requests"
+            )
+            routed_errors = _counter_delta(
+                metrics0, metrics1, f"cluster.replica.{label}.errors"
+            )
+            before, after = replicas0.get(replica), replicas1.get(replica)
+            if before is not None and after is not None:
+                served = _counter_delta(before, after, "service.requests")
+                computed = _counter_delta(before, after, "service.requests.computed")
+                r_hits = _counter_delta(before, after, "service.cache.hits")
+            else:
+                served = computed = r_hits = -1  # replica unreadable (e.g. killed)
+            cluster_rows.append([
+                replica,
+                ring1.get("health", {}).get(replica, "?"),
+                int(routed), int(routed_errors),
+                int(served), int(computed), int(r_hits),
+            ])
+        cluster_meta = {
+            "router": ring1.get("router"),
+            "replicas": ring1.get("replicas", []),
+            "vnodes": ring1.get("vnodes"),
+            "health": ring1.get("health", {}),
+            "hedge_fired": _counter_delta(metrics0, metrics1, "cluster.hedge.fired"),
+            "hedge_wins": _counter_delta(metrics0, metrics1, "cluster.hedge.wins"),
+            "failover": _counter_delta(metrics0, metrics1, "cluster.failover"),
+            "retry_503": _counter_delta(metrics0, metrics1, "cluster.retry.503"),
+            "reregistered": _counter_delta(
+                metrics0, metrics1, "cluster.reregistered"
+            ),
+        }
+        print("cluster: per-replica breakdown (routed by router / served by replica):")
+        print(
+            f"  {'replica':<28} {'state':>9} {'routed':>7} {'errors':>7} "
+            f"{'served':>7} {'computed':>9} {'hits':>6}"
+        )
+        for row in cluster_rows:
+            print(
+                f"  {row[0]:<28} {row[1]:>9} {row[2]:>7} {row[3]:>7} "
+                f"{row[4]:>7} {row[5]:>9} {row[6]:>6}"
+            )
+        print(
+            f"cluster: {cluster_meta['hedge_fired']:g} hedges "
+            f"({cluster_meta['hedge_wins']:g} won), "
+            f"{cluster_meta['failover']:g} failovers, "
+            f"{cluster_meta['retry_503']:g} 503-retries, "
+            f"{cluster_meta['reregistered']:g} re-registrations"
+        )
+
     if args.json is not None:
         from repro.obs.metrics import MetricsRegistry
         from repro.obs.report import build_report
@@ -427,6 +703,15 @@ def main_loadgen(argv: list[str] | None = None) -> int:
         # sum over codes is the number of responses seen, not -n).
         for code, count in sorted(status_counts.items()):
             reg.counter(f"loadgen.status.{code}").inc(count)
+        # One disposition per request: these sum to exactly -n.
+        for disposition, count in sorted(dispositions.items()):
+            reg.counter(f"loadgen.disposition.{disposition}").inc(count)
+        if cluster_meta is not None:
+            for key in ("hedge_fired", "hedge_wins", "failover",
+                        "retry_503", "reregistered"):
+                reg.counter(f"loadgen.cluster.{key}").inc(
+                    max(0.0, cluster_meta[key])
+                )
         reg.gauge("loadgen.rps").set(rps)
         reg.gauge("loadgen.cache_hit_rate").set(hit_rate)
         reg.histogram("loadgen.latency_ms").observe_many(latencies_ms or [0.0])
@@ -451,7 +736,9 @@ def main_loadgen(argv: list[str] | None = None) -> int:
                 "method": args.method,
                 "workers": args.workers,
                 "status_counts": {str(k): v for k, v in sorted(status_counts.items())},
+                "dispositions": dict(sorted(dispositions.items())),
                 "first_error": first_error,
+                "cluster": cluster_meta,
             },
             results=[{
                 "exp_id": "loadgen",
@@ -472,7 +759,15 @@ def main_loadgen(argv: list[str] | None = None) -> int:
                     "queue_p50_ms", "queue_p95_ms", "computed",
                 ],
                 "rows": cost_rows,
-            }] if cost_rows else []),
+            }] if cost_rows else []) + ([{
+                "exp_id": "loadgen.cluster",
+                "title": "Per-replica breakdown (routed by router, served by replica)",
+                "headers": [
+                    "replica", "state", "routed", "routed_errors",
+                    "served", "computed", "cache_hits",
+                ],
+                "rows": cluster_rows,
+            }] if cluster_rows else []),
         )
         try:
             report.save(args.json)

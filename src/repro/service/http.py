@@ -20,25 +20,14 @@ Endpoints (all JSON bodies/responses):
   ``?format=prometheus`` renders the same snapshot in Prometheus text
   exposition format for scrapers (:mod:`repro.obs.expo`).
 
-Request-scoped observability: every request carries an ID — an inbound
-``X-Request-Id`` header is honored when it matches the
-``[A-Za-z0-9_-]{1,64}`` allowlist (anything else is replaced, closing
-the header/log-injection hole), otherwise one is minted — echoed in
-the response header (and the ``/v1/cd`` body), threaded through
-``Service.query()`` into the queue-wait and ``service.request`` trace
-spans, and stamped on the structured JSON access-log line written per
-request (:mod:`repro.obs.log`, ``REPRO_ACCESS_LOG``) along with the
-request's ``trace_id`` and queue wait.  Every request also carries a
-W3C trace context (:mod:`repro.obs.context`): an inbound
-``traceparent`` is honored (including its sampling flag), otherwise a
-fresh trace ID is minted and head-sampled per ``REPRO_TRACE_SAMPLE``;
-``/v1/cd`` responses echo ``traceparent`` naming the request's own
-span so an upstream router can stitch cross-replica traces
-(``service.trace.sampled`` / ``.dropped`` count the decisions).
-Unexpected handler exceptions answer a JSON ``500`` carrying the
-request ID (and bump ``service.errors`` /
-``service.errors.<route>.<code>``) instead of leaking a stdlib
-traceback over a dead connection.
+All request-scoped plumbing — request IDs and their allowlist fence,
+W3C trace-context honoring/minting, the JSON ``500`` error fence, the
+sliding request window, and the structured access log — lives in the
+shared :class:`repro.service.wire.JsonRequestHandler` base, which the
+cluster router (:mod:`repro.cluster.router`) reuses verbatim; this
+module adds only the replica's routes.  See ``wire.py`` for the full
+description of those behaviors and ``docs/serving.md`` for the
+operations story.
 
 The server is a :class:`http.server.ThreadingHTTPServer`: cheap,
 dependency-free, and sufficient because request threads only parse JSON
@@ -50,56 +39,20 @@ from __future__ import annotations
 
 import base64
 import io
-import json
-import os
-import re
-import time
-import urllib.parse
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import ThreadingHTTPServer
 
 import numpy as np
 
 from repro.cd.scene import Scene
-from repro.obs.context import (
-    TRACEPARENT_HEADER,
-    TRACESTATE_HEADER,
-    TraceContext,
-    format_traceparent,
-    new_trace_id,
-    parse_traceparent,
-    sample_rate_from_env,
-    trace_sampled,
-)
-from repro.obs.expo import CONTENT_TYPE as _PROMETHEUS_CONTENT_TYPE
-from repro.obs.expo import render_prometheus
-from repro.obs.log import get_access_log, new_request_id
+from repro.obs.context import format_traceparent
 from repro.obs.metrics import get_metrics
 from repro.service.batching import Backpressure
 from repro.service.core import QuerySpec, Service
 from repro.service.registry import UnknownSceneError
+from repro.service.wire import JsonRequestHandler
 from repro.tool.tool import Tool, ball_end_mill, paper_tool
 
 __all__ = ["scene_from_request", "tool_from_spec", "ServiceHTTPServer", "serve"]
-
-# Routes whose own traffic must not pollute the request window (health
-# probes and scrapers poll them constantly).
-_UNWINDOWED_ROUTES = frozenset({"/v1/healthz", "/v1/metrics"})
-
-_KNOWN_ROUTES = frozenset({"/v1/scenes", "/v1/cd", "/v1/healthz", "/v1/metrics"})
-
-# Inbound X-Request-Id values are echoed into response headers and
-# access-log lines; anything outside this allowlist (length-bounded,
-# no CR/LF or exotic bytes) is replaced with a freshly minted ID so a
-# hostile client can't inject headers or forge log lines.
-_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
-
-
-def _route_label(path: str) -> str:
-    """A bounded-cardinality metric label for a request path
-    (``/v1/cd`` -> ``v1.cd``; anything unknown -> ``other``)."""
-    if path in _KNOWN_ROUTES:
-        return path.strip("/").replace("/", ".")
-    return "other"
 
 _MODELS = ("head", "candle_holder", "turbine", "teapot")
 
@@ -162,119 +115,10 @@ def scene_from_request(body: dict) -> Scene:
     return Scene(tree, tool, pivot)
 
 
-class _Handler(BaseHTTPRequestHandler):
-    protocol_version = "HTTP/1.1"
+class _Handler(JsonRequestHandler):
     server: "ServiceHTTPServer"
 
-    # -- plumbing ---------------------------------------------------------
-
-    def log_message(self, fmt, *args) -> None:  # noqa: A003 - stdlib hook
-        # The structured JSON access log (repro.obs.log) supersedes the
-        # stdlib per-request line; REPRO_HTTP_LOG=1 re-enables the latter.
-        if os.environ.get("REPRO_HTTP_LOG", "").strip() == "1":
-            super().log_message(fmt, *args)
-
-    def _send_json(self, code: int, obj, *, headers: dict | None = None) -> None:
-        data = json.dumps(obj).encode("utf-8")
-        self._send_bytes(code, data, "application/json", headers)
-
-    def _send_text(self, code: int, text: str, content_type: str) -> None:
-        self._send_bytes(code, text.encode("utf-8"), content_type, None)
-
-    def _send_bytes(
-        self, code: int, data: bytes, content_type: str, headers: dict | None
-    ) -> None:
-        self._status = code
-        self.send_response(code)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(data)))
-        self.send_header("X-Request-Id", self._request_id)
-        if self._response_traceparent:
-            self.send_header(TRACEPARENT_HEADER, self._response_traceparent)
-            if self._trace_ctx is not None and self._trace_ctx.tracestate:
-                self.send_header(TRACESTATE_HEADER, self._trace_ctx.tracestate)
-        for name, value in (headers or {}).items():
-            self.send_header(name, value)
-        self.end_headers()
-        self.wfile.write(data)
-
-    def _read_json(self) -> dict:
-        length = int(self.headers.get("Content-Length", 0))
-        if length <= 0:
-            raise ValueError("request needs a JSON body")
-        body = json.loads(self.rfile.read(length).decode("utf-8"))
-        if not isinstance(body, dict):
-            raise ValueError("request body must be a JSON object")
-        return body
-
-    # -- request-scoped dispatch ------------------------------------------
-
-    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
-        self._handle("GET", self._route_get)
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
-        self._handle("POST", self._route_post)
-
-    def _trace_context(self) -> TraceContext:
-        """The request's trace context: inbound ``traceparent`` honored
-        (including its ``sampled`` flag), anything malformed or absent
-        minted fresh with the head-sampling decision from
-        ``REPRO_TRACE_SAMPLE``.  ``tracestate`` rides along verbatim."""
-        ctx = parse_traceparent(self.headers.get(TRACEPARENT_HEADER))
-        if ctx is None:
-            trace_id = new_trace_id()
-            ctx = TraceContext(
-                trace_id=trace_id,
-                sampled=trace_sampled(trace_id, sample_rate_from_env()),
-            )
-        tracestate = (self.headers.get(TRACESTATE_HEADER) or "").strip()
-        if tracestate:
-            ctx = TraceContext(
-                trace_id=ctx.trace_id, span_id=ctx.span_id,
-                sampled=ctx.sampled, tracestate=tracestate,
-            )
-        return ctx
-
-    def _handle(self, verb: str, route_fn) -> None:
-        """Wrap one request: ID, timing, error fence, window, access log."""
-        t0 = time.perf_counter()
-        raw_id = (self.headers.get("X-Request-Id") or "").strip()
-        self._request_id = raw_id if _REQUEST_ID_RE.match(raw_id) else new_request_id()
-        self._status: int | None = None
-        self._trace_ctx = self._trace_context()
-        self._response_traceparent: str | None = None
-        self._log_fields: dict = {"trace_id": self._trace_ctx.trace_id}
-        path = urllib.parse.urlsplit(self.path).path
-        try:
-            route_fn(path)
-        except Exception as exc:  # the fence: no dead threads, no bare tracebacks
-            metrics = get_metrics()
-            metrics.counter("service.errors").inc()
-            metrics.counter(f"service.errors.{_route_label(path)}.500").inc()
-            self._log_fields["error"] = f"{type(exc).__name__}: {exc}"
-            # The connection may hold a half-written response; don't reuse it.
-            self.close_connection = True
-            if self._status is None:
-                try:
-                    self._send_json(500, {
-                        "error": f"internal error: {type(exc).__name__}: {exc}",
-                        "request_id": self._request_id,
-                    })
-                except OSError:
-                    pass  # client already gone; the log line still records it
-        finally:
-            ms = (time.perf_counter() - t0) * 1e3
-            status = self._status if self._status is not None else 500
-            if path not in _UNWINDOWED_ROUTES:
-                self.server.service.window.record(ms, error=status >= 500)
-            get_access_log().request(
-                id=self._request_id,
-                route=path,
-                method=verb,
-                status=status,
-                ms=ms,
-                **self._log_fields,
-            )
+    known_routes = frozenset({"/v1/scenes", "/v1/cd", "/v1/healthz", "/v1/metrics"})
 
     # -- routes -----------------------------------------------------------
 
@@ -290,21 +134,7 @@ class _Handler(BaseHTTPRequestHandler):
                 "window": service.window.snapshot(),
             })
         elif path == "/v1/metrics":
-            params = urllib.parse.parse_qs(urllib.parse.urlsplit(self.path).query)
-            fmt = params.get("format", ["json"])[-1]
-            # Refresh the window gauges so both encodings carry the
-            # rolling stats a scraper can alert on.
-            service.window.export_gauges(get_metrics())
-            if fmt == "prometheus":
-                self._send_text(
-                    200, render_prometheus(get_metrics()), _PROMETHEUS_CONTENT_TYPE
-                )
-            elif fmt == "json":
-                self._send_json(200, get_metrics().as_dict())
-            else:
-                self._send_json(
-                    400, {"error": f"unknown format {fmt!r} (json or prometheus)"}
-                )
+            self._route_metrics()
         else:
             self._send_json(404, {"error": f"no route {path!r}"})
 
@@ -312,7 +142,7 @@ class _Handler(BaseHTTPRequestHandler):
         service = self.server.service
         try:
             body = self._read_json()
-        except (ValueError, json.JSONDecodeError) as exc:
+        except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
             return
 
@@ -383,6 +213,11 @@ class ServiceHTTPServer(ThreadingHTTPServer):
     def __init__(self, address: tuple[str, int], service: Service):
         super().__init__(address, _Handler)
         self.service = service
+
+    @property
+    def window(self):
+        """The service's request window (fed by the shared handler base)."""
+        return self.service.window
 
 
 def serve(service: Service, host: str = "127.0.0.1", port: int = 8077) -> ServiceHTTPServer:
