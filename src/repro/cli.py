@@ -7,6 +7,7 @@ Usage::
     repro-bench fig16 --json out.json # also write a structured run report
     repro-bench all                   # run everything (respects scale)
     repro-bench fig16 --workers 4     # shard CD runs over 4 processes
+    repro-bench wallclock --backend numpy_portable  # array-backend axis
     repro-bench compare a.json b.json # regression gate between two reports
     repro-bench fig16 --progress      # heartbeat per thread-block/pivot
     REPRO_BENCH_SCALE=medium repro-bench fig05
@@ -35,8 +36,11 @@ import sys
 import time
 import traceback
 
+import numpy as np
+
 from repro.bench.config import SCALES, current_scale
 from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.engine.backend import BackendUnavailable, get_backend, resolve_backend
 from repro.engine.pool import resolve_workers
 from repro.obs.metrics import MetricsRegistry, use_metrics
 from repro.obs.profile import record_memory_metrics
@@ -56,6 +60,25 @@ def main(argv: list[str] | None = None) -> int:
 # ---------------------------------------------------------------------------
 # repro-bench <experiment> [--scale S] [--json PATH] [--trace]
 # ---------------------------------------------------------------------------
+
+
+def _blas_info() -> str | None:
+    """Short BLAS build identifier for report meta (host comparability).
+
+    Wall-clock baselines depend on the numpy build's BLAS as much as on
+    the machine; recording it makes cross-host report diffs explainable.
+    Best-effort: ``None`` when the build config is not introspectable.
+    """
+    try:
+        cfg = np.show_config(mode="dicts")
+        blas = cfg.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name")
+        version = blas.get("version")
+        if name:
+            return f"{name} {version}" if version else str(name)
+    except Exception:
+        pass
+    return None
 
 
 def _main_run(argv: list[str]) -> int:
@@ -94,6 +117,14 @@ def _main_run(argv: list[str]) -> int:
         "REPRO_WORKERS; default 1 = serial)",
     )
     parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help="array backend for the v2 panel kernels (numpy, "
+        "numpy_portable, array_api_strict, cupy, torch; overrides "
+        "REPRO_BACKEND; default numpy)",
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help="print a heartbeat line per completed thread-block/pivot "
@@ -112,6 +143,17 @@ def _main_run(argv: list[str]) -> int:
         # Experiments build their own TraversalConfig instances; the env
         # variable is the channel every run_cd resolves its default from.
         os.environ["REPRO_WORKERS"] = str(workers)
+
+    try:
+        backend = resolve_backend(args.backend)
+        get_backend(backend)  # fail fast if the library is not importable
+    except (ValueError, BackendUnavailable) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.backend is not None:
+        # Same channel as --workers: every run_cd resolves its default
+        # backend from the env (and pins it into worker configs).
+        os.environ["REPRO_BACKEND"] = backend
 
     scale = SCALES[args.scale] if args.scale else current_scale()
 
@@ -163,6 +205,9 @@ def _main_run(argv: list[str]) -> int:
             meta={
                 "scale": scale.name,
                 "workers": workers,
+                "backend": backend,
+                "numpy": np.__version__,
+                "blas": _blas_info(),
                 "experiments": [r.exp_id for r in completed],
                 "failed": failures,
                 "argv": argv,

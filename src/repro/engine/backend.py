@@ -1,0 +1,382 @@
+"""Pluggable array backends for the v2 panel/batch kernels.
+
+Engine v2 reshaped the hot path into per-level *panel* matrices — dense
+``(unique node, block thread)`` blocks — which is exactly the shape a
+tensor framework or a GPU wants.  This module is the seam that lets
+those kernels run on something other than the host NumPy:
+
+* :class:`ArrayBackend` bundles an Array-API-style namespace (``xp``)
+  with the staging discipline the kernels rely on — ``to_device`` /
+  ``to_host`` enforce float64 + C-contiguity at the boundary and count
+  every byte that crosses it — plus capability flags (``has_einsum``)
+  and the contraction helpers the kernels need either way.
+* :func:`get_backend` resolves a backend *name* to a thread-local
+  instance (one per thread, like the ambient :class:`~repro.engine.workspace.Workspace`,
+  so per-run counter deltas are race-free).
+* :func:`resolve_backend` implements the selection precedence
+  ``TraversalConfig.backend`` > ``REPRO_BACKEND`` > ``numpy`` with the
+  same normalization rules as :func:`repro.cd.traversal.resolve_engine`
+  (both now share :func:`resolve_setting`).
+
+Registered backends:
+
+``numpy``
+    The default reference.  ``to_device``/``to_host`` are identity
+    pass-throughs (zero copies, zero counted bytes) and the kernels'
+    existing einsum paths run untouched, so the numpy backend is
+    byte-identical to pre-backend code by construction.
+``numpy_portable``
+    NumPy arrays driven exclusively through the portable (no-einsum,
+    Array-API-only) code paths.  Exists so the portability branches are
+    exercised — locally and by pool workers — without installing
+    ``array-api-strict``; it is also the bit-equality witness for the
+    pairwise contraction order (see below).
+``array_api_strict``
+    The conformance backend (``pip install array-api-strict``): proves
+    the kernels use only portable Array-API operations.  Exercised in
+    CI; import-guarded here.
+``cupy`` / ``torch``
+    GPU-capable backends, used when importable and skipped otherwise.
+    Neither is assumed present anywhere in the test suite or CI.
+
+**Tolerance contract.**  The ``numpy`` backend is byte-identical —
+maps *and* per-thread counters — and stays gated as such.  Non-numpy
+backends relax *float* comparisons to allclose-with-tolerance, but the
+**counters stay exact**: every counter is computed from boolean kernel
+outcomes (threshold comparisons), never from accumulated floats.
+
+**Accumulation order.**  NumPy's ``einsum`` reduces a 3-long
+contraction axis with SSE pairwise partial sums: lanes ``(p0 + p2)``
+and ``p1``, combined last — *not* the left-to-right ``(p0 + p1) + p2``.
+The portable helpers (:meth:`ArrayBackend.dot3` and friends) replicate
+that exact order, so a numpy-backed Array-API namespace (which is what
+``array_api_strict`` and ``numpy_portable`` are) produces bit-equal
+floats, which in turn keeps the boolean outcomes — and therefore the
+counters — bit-equal, the property the conformance gate asserts.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "BackendUnavailable",
+    "BACKEND_NAMES",
+    "available_backends",
+    "get_backend",
+    "resolve_backend",
+    "resolve_setting",
+    "export_backend_metrics",
+]
+
+#: Every registrable backend name, in documentation order.  Name
+#: validation happens against this tuple (``resolve_backend``);
+#: *availability* (is the library importable?) is checked lazily by
+#: :func:`get_backend`, which raises :class:`BackendUnavailable`.
+BACKEND_NAMES = ("numpy", "numpy_portable", "array_api_strict", "cupy", "torch")
+
+
+class BackendUnavailable(RuntimeError):
+    """A validly-named backend whose library is not importable here."""
+
+
+def resolve_setting(
+    value,
+    *,
+    env_var: str,
+    default: str,
+    allowed: tuple,
+    field: str,
+) -> str:
+    """Shared explicit > environment > default resolution with validation.
+
+    Normalization is applied to *both* sources before the fallback
+    decision: an explicit value that is empty **or whitespace-only**
+    defers to the environment (previously a whitespace-only
+    ``TraversalConfig.engine`` slipped past the fallback and failed
+    validation).  Errors name both the config field and the env var.
+    """
+    if value is not None:
+        value = str(value).strip().lower()
+    if not value:
+        value = os.environ.get(env_var, "").strip().lower() or default
+    if value not in allowed:
+        raise ValueError(
+            f"{field} must be one of {allowed}, got {value!r} "
+            f"(check {env_var} or TraversalConfig.{field})"
+        )
+    return value
+
+
+def resolve_backend(value: str | None = None) -> str:
+    """The effective array backend: explicit > ``REPRO_BACKEND`` > ``numpy``.
+
+    Validates the *name* only; whether the backing library is importable
+    is decided by :func:`get_backend` at use time.
+    """
+    return resolve_setting(
+        value,
+        env_var="REPRO_BACKEND",
+        default="numpy",
+        allowed=BACKEND_NAMES,
+        field="backend",
+    )
+
+
+def _host_staging(x: np.ndarray) -> np.ndarray:
+    """The boundary discipline: C-contiguous, floats widened to float64.
+
+    Integer/bool arrays keep their dtype (they index or mask); float
+    arrays are pinned to float64 so no backend silently downcasts the
+    geometry (the byte-identity analysis assumes double throughout).
+    """
+    arr = np.asarray(x)
+    if arr.dtype.kind == "f" and arr.dtype != np.float64:
+        arr = arr.astype(np.float64)
+    return np.ascontiguousarray(arr)
+
+
+class ArrayBackend:
+    """One array namespace plus the staging/instrumentation seam.
+
+    Instances are cheap but stateful (monotone lifetime counters, the
+    :class:`~repro.engine.workspace.Workspace` pattern); get them from
+    :func:`get_backend`, which hands out one per (thread, name).
+    """
+
+    __slots__ = (
+        "name",
+        "xp",
+        "is_numpy",
+        "has_einsum",
+        "kernel_calls",
+        "h2d_bytes",
+        "d2h_bytes",
+        "sync_points",
+    )
+
+    def __init__(self, name: str, xp, *, is_numpy: bool, has_einsum: bool):
+        self.name = name
+        self.xp = xp
+        self.is_numpy = is_numpy
+        self.has_einsum = has_einsum
+        self.kernel_calls = 0
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.sync_points = 0
+
+    # -- staging ----------------------------------------------------------
+
+    def to_device(self, x) -> "object":
+        """Stage a host array into this backend's namespace.
+
+        The numpy backend is an identity pass-through (no copy, no
+        counted bytes — the engine's arrays already satisfy the
+        discipline).  Other backends apply :func:`_host_staging` then
+        ``xp.asarray`` and count the transferred bytes.
+        """
+        if self.is_numpy:
+            return x
+        arr = _host_staging(x)
+        self.h2d_bytes += arr.nbytes
+        return self.xp.asarray(arr)
+
+    def to_host(self, x) -> np.ndarray:
+        """Materialize a backend array on the host (a sync point)."""
+        if self.is_numpy:
+            return x
+        self.sync_points += 1
+        get = getattr(x, "get", None)
+        if callable(get):  # cupy-style device arrays
+            arr = np.asarray(get())
+        else:
+            try:
+                arr = np.asarray(x)
+            except (TypeError, ValueError):
+                arr = np.asarray(np.from_dlpack(x))
+        self.d2h_bytes += arr.nbytes
+        return arr
+
+    def count_kernel(self) -> None:
+        """Charge one kernel invocation to the seam's counters."""
+        self.kernel_calls += 1
+
+    # -- contractions (the only reductions the panel kernels use) ---------
+
+    def dot3(self, a, b):
+        """Row dots over a length-3 trailing axis: ``einsum("...j,...j->...")``.
+
+        The portable branch replicates einsum's pairwise accumulation
+        ``(p0 + p2) + p1`` so numpy-backed namespaces stay bit-equal to
+        the einsum reference (see the module docstring).
+        """
+        if self.has_einsum:
+            return np.einsum("...j,...j->...", a, b)
+        return (a[..., 0] * b[..., 0] + a[..., 2] * b[..., 2]) + a[..., 1] * b[..., 1]
+
+    def outer_dot3(self, u, t):
+        """All-pairs dots: ``einsum("uj,tj->ut", u, t)`` for (U,3) x (B,3)."""
+        if self.has_einsum:
+            return np.einsum("uj,tj->ut", u, t)
+        return (
+            u[:, 0][:, None] * t[:, 0][None, :]
+            + u[:, 2][:, None] * t[:, 2][None, :]
+        ) + u[:, 1][:, None] * t[:, 1][None, :]
+
+    def rotate3(self, frames, pts):
+        """Frame application: ``einsum("pij,pkj->pki", frames, pts)``.
+
+        ``frames`` is (P, 3, 3) row-vector bases, ``pts`` (P, K, 3);
+        returns (P, K, 3) with the same pairwise accumulation order.
+        """
+        if self.has_einsum:
+            return np.einsum("pij,pkj->pki", frames, pts)
+        xp = self.xp
+        cols = [
+            (
+                pts[..., 0] * frames[:, None, i, 0]
+                + pts[..., 2] * frames[:, None, i, 2]
+            )
+            + pts[..., 1] * frames[:, None, i, 1]
+            for i in range(3)
+        ]
+        return xp.stack(cols, axis=-1)
+
+    # -- delta accounting --------------------------------------------------
+
+    def stats(self) -> dict:
+        """Snapshot of the monotone lifetime counters."""
+        return {
+            "kernel_calls": self.kernel_calls,
+            "h2d_bytes": self.h2d_bytes,
+            "d2h_bytes": self.d2h_bytes,
+            "sync_points": self.sync_points,
+        }
+
+    def stats_since(self, before: dict | None) -> dict:
+        """Counter deltas since an earlier :meth:`stats` snapshot."""
+        now = self.stats()
+        if before:
+            for key in now:
+                now[key] -= before.get(key, 0)
+        return now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ArrayBackend({self.name!r}, kernels={self.kernel_calls}, "
+            f"h2d={self.h2d_bytes}B, d2h={self.d2h_bytes}B)"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+def _make_numpy() -> ArrayBackend:
+    return ArrayBackend("numpy", np, is_numpy=True, has_einsum=True)
+
+
+def _make_numpy_portable() -> ArrayBackend:
+    return ArrayBackend("numpy_portable", np, is_numpy=False, has_einsum=False)
+
+
+def _make_array_api_strict() -> ArrayBackend:
+    try:
+        import array_api_strict as xp
+    except ImportError as exc:
+        raise BackendUnavailable(
+            "backend 'array_api_strict' needs the array-api-strict package "
+            "(pip install array-api-strict)"
+        ) from exc
+    return ArrayBackend("array_api_strict", xp, is_numpy=False, has_einsum=False)
+
+
+def _make_cupy() -> ArrayBackend:
+    try:
+        import cupy as xp
+    except ImportError as exc:
+        raise BackendUnavailable(
+            "backend 'cupy' needs a CUDA-enabled cupy install"
+        ) from exc
+    # cupy.einsum exists but is not bit-order-compatible with numpy's;
+    # GPU floats are allclose-gated anyway, so take the portable path for
+    # one accumulation story across all non-numpy backends.
+    return ArrayBackend("cupy", xp, is_numpy=False, has_einsum=False)
+
+
+def _make_torch() -> ArrayBackend:
+    try:
+        import torch  # noqa: F401
+    except ImportError as exc:
+        raise BackendUnavailable("backend 'torch' needs a torch install") from exc
+    try:
+        # The compat namespace papers over the non-Array-API spellings.
+        from array_api_compat import torch as xp
+    except ImportError:
+        import torch as xp  # best effort: modern torch covers what we use
+    return ArrayBackend("torch", xp, is_numpy=False, has_einsum=False)
+
+
+_FACTORIES = {
+    "numpy": _make_numpy,
+    "numpy_portable": _make_numpy_portable,
+    "array_api_strict": _make_array_api_strict,
+    "cupy": _make_cupy,
+    "torch": _make_torch,
+}
+
+_tls = threading.local()
+
+
+def get_backend(name: str | None = None) -> ArrayBackend:
+    """The thread-local backend instance for ``name`` (resolved first).
+
+    One instance per (thread, name): counters are monotone lifetime
+    totals, so concurrent runs on service dispatch threads keep their
+    delta accounting exact without locks — the same ownership model as
+    the ambient workspace.
+
+    Raises :class:`BackendUnavailable` when the named backend's library
+    is not importable in this process.
+    """
+    name = resolve_backend(name)
+    cache = getattr(_tls, "backends", None)
+    if cache is None:
+        cache = _tls.backends = {}
+    backend = cache.get(name)
+    if backend is None:
+        backend = cache[name] = _FACTORIES[name]()
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """The subset of :data:`BACKEND_NAMES` importable in this process."""
+    out = []
+    for name in BACKEND_NAMES:
+        try:
+            get_backend(name)
+        except BackendUnavailable:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def export_backend_metrics(metrics, stats: dict, prefix: str = "engine.backend") -> None:
+    """Fold one run's backend seam stats into a metrics registry.
+
+    ``stats`` is an :meth:`ArrayBackend.stats_since` delta (or a pooled
+    aggregate thereof).  All four quantities are per-run event/byte
+    counts, so they export as counters.  Pooled runs pass
+    ``prefix="engine.pool.backend"`` — their stats sum every worker's
+    private seam, a different quantity from the serial run's, so the two
+    live in different namespaces (mirroring the workspace metrics).
+    """
+    metrics.counter(f"{prefix}.kernel_calls").inc(int(stats.get("kernel_calls", 0)))
+    metrics.counter(f"{prefix}.h2d_bytes").inc(int(stats.get("h2d_bytes", 0)))
+    metrics.counter(f"{prefix}.d2h_bytes").inc(int(stats.get("d2h_bytes", 0)))
+    metrics.counter(f"{prefix}.sync_points").inc(int(stats.get("sync_points", 0)))

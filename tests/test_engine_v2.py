@@ -69,6 +69,14 @@ class TestResolveEngine:
         with pytest.raises(ValueError, match="engine"):
             resolve_engine()
 
+    def test_whitespace_defers_to_env(self, monkeypatch):
+        # Regression: a whitespace-only config value used to skip the
+        # env fallback and then fail validation on the stripped string.
+        monkeypatch.setenv("REPRO_ENGINE", "v1")
+        assert resolve_engine("   ") == "v1"
+        monkeypatch.delenv("REPRO_ENGINE")
+        assert resolve_engine("   ") == "v2"
+
     def test_engines_tuple(self):
         assert ENGINES == ("v1", "v2")
 
@@ -233,6 +241,67 @@ class TestEngineEquivalence:
                 config=TraversalConfig(engine="v1"),
             )
         assert "engine.workspace.reuse_hits" not in reg.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# CHECKBOX screen routing: dense panel pass vs gathered per-pair pass
+# ---------------------------------------------------------------------------
+
+
+class TestScreenPanelRouting:
+    """Both ``want_screen_panel`` branches must be byte-identical.
+
+    The dense branch screens the whole (node x thread) panel once and
+    gathers verdicts; the sparse branch gathers the masked pairs and
+    screens them per pair.  The heuristic picks between them on mask
+    density, so each branch is forced explicitly here and checked
+    against the v1 reference — backend routing must not regress either.
+    """
+
+    def test_heuristic(self):
+        import types
+
+        import repro.cd.traversal as trav
+
+        fake = types.SimpleNamespace(
+            _screen=None,
+            _virtual=lambda: (None, (), None),
+            _n_us=10,
+            t0=0,
+            t1=4,  # cells = 10 * 4 = 40
+        )
+        want = trav.LevelContext.want_screen_panel
+        assert want(fake, 20) is True  # 2*20 >= 40: dense pays off
+        assert want(fake, 19) is False  # sparse mask: per-pair gather
+        fake._screen = object()  # matrix already built: gathering is free
+        assert want(fake, 0) is True
+
+    @pytest.mark.parametrize("engine_backend", [("v2", None), ("v2", "numpy_portable")])
+    @pytest.mark.parametrize("dense", [True, False])
+    @pytest.mark.parametrize("method", ["PBox", "PBoxOpt", "AICA"])
+    def test_forced_branches_identical(
+        self, sphere_scene, monkeypatch, method, dense, engine_backend
+    ):
+        import repro.cd.traversal as trav
+
+        engine, backend = engine_backend
+        ref = run_cd(
+            sphere_scene, GRID, method_by_name(method),
+            config=TraversalConfig(engine="v1", start_level=2),
+        )
+        # Low panel gates so the tiny scene runs panel mode at all
+        # (n_masked spans tiny corner masks up to full-frontier masks),
+        # then pin the branch.
+        monkeypatch.setattr(trav, "_PANEL_MIN_PAIRS", 1)
+        monkeypatch.setattr(trav, "_PANEL_OVERSAMPLE", 1e9)
+        monkeypatch.setattr(
+            trav.LevelContext, "want_screen_panel", lambda self, n: dense
+        )
+        forced = run_cd(
+            sphere_scene, GRID, method_by_name(method),
+            config=TraversalConfig(engine=engine, backend=backend, start_level=2),
+        )
+        _assert_identical(ref, forced, f"{method} dense={dense} backend={backend}")
 
 
 # ---------------------------------------------------------------------------

@@ -162,11 +162,15 @@ class TestRunCdEquivalence:
         a, b = serial_reg.as_dict(), par_reg.as_dict()
         # Every serial metric exists in the pooled registry with the same
         # counts; the pooled run adds its engine.pool.* telemetry on top.
-        # Workspace arena telemetry is host-side (one arena per serial
-        # run vs one per worker) so it lives in a per-path namespace —
-        # engine.workspace.* serial, engine.pool.workspace.* pooled —
-        # and is exempt from the cross-path comparison.
-        host_only = {n for n in a if n.startswith("engine.workspace.")}
+        # Workspace arena and array-backend telemetry are host-side (one
+        # arena/backend per serial run vs one per worker) so they live in
+        # per-path namespaces — engine.{workspace,backend}.* serial,
+        # engine.pool.{workspace,backend}.* pooled — and are exempt from
+        # the cross-path comparison.
+        host_only = {
+            n for n in a
+            if n.startswith(("engine.workspace.", "engine.backend."))
+        }
         assert set(a) - host_only <= set(b)
         assert all(n.startswith(("engine.pool.", "proc.")) for n in set(b) - set(a))
         for name in set(a) - host_only:
@@ -227,10 +231,14 @@ class TestPathRunEquivalence:
         # namespaces: under REPRO_WORKERS the "serial" path run still
         # orientation-shards its inner run_cd calls (exporting
         # engine.pool.workspace.*), while the pivot-sharded run forces
-        # its inner runs serial — arena telemetry is per-path, host-side.
+        # its inner runs serial — arena/backend telemetry is per-path,
+        # host-side.
         host_only = {
             n for n in a
-            if n.startswith(("engine.workspace.", "engine.pool.workspace."))
+            if n.startswith((
+                "engine.workspace.", "engine.pool.workspace.",
+                "engine.backend.", "engine.pool.backend.",
+            ))
         }
         assert set(a) - host_only <= set(b)
         assert all(n.startswith(("engine.pool.", "proc.")) for n in set(b) - set(a))
